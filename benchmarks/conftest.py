@@ -1,0 +1,21 @@
+"""Shared fixtures for the benchmark suite.
+
+All benches run at the smoke scale so the full suite finishes in
+minutes; the experiment modules under ``repro.experiments`` regenerate
+the paper's tables/figures at the larger presets.
+"""
+
+import pytest
+
+from repro.datagen.generator import generate_fleet
+from repro.experiments.config import ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def config():
+    return ExperimentConfig.smoke()
+
+
+@pytest.fixture(scope="session")
+def fleet(config):
+    return generate_fleet(config.fleet)

@@ -1,0 +1,47 @@
+"""Benchmarks regenerating Figure 4 (the ε sweep).
+
+One bench per panel family: the anonymize+evaluate cycle at a low and a
+high privacy budget, plus a reduced end-to-end sweep identical in
+structure to ``python -m repro.experiments.fig4``.
+"""
+
+import pytest
+
+from repro.experiments.evaluate import evaluate_method
+from repro.experiments.fig4 import PANELS, run as run_fig4
+from repro.experiments.methods import build_our_models
+
+
+@pytest.mark.parametrize("epsilon", (0.5, 5.0))
+@pytest.mark.parametrize("model", ("PureG", "PureL", "GL"))
+def test_bench_model_at_epsilon(benchmark, config, fleet, model, epsilon):
+    swept = config.with_epsilon(epsilon)
+    anonymize = build_our_models(swept)[model]
+    result = benchmark.pedantic(
+        lambda: anonymize(fleet.dataset), rounds=3, iterations=1
+    )
+    assert len(result) == len(fleet.dataset)
+
+
+def test_bench_fig4_point(benchmark, config, fleet):
+    """One full sweep point: anonymize + all eight panel metrics."""
+    swept = config.with_epsilon(1.0)
+    anonymize = build_our_models(swept)["GL"]
+    anonymized = anonymize(fleet.dataset)
+    evaluation = benchmark.pedantic(
+        lambda: evaluate_method(fleet.dataset, anonymized, fleet, swept),
+        rounds=2,
+        iterations=1,
+    )
+    for panel in PANELS:
+        assert panel in evaluation.values
+
+
+def test_bench_fig4_end_to_end(benchmark, config):
+    series = benchmark.pedantic(
+        lambda: run_fig4(config, epsilons=(0.5, 5.0)), rounds=1, iterations=1
+    )
+    assert set(series) == set(PANELS)
+    for models in series.values():
+        for values in models.values():
+            assert len(values) == 2

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Attack lab: why deleting signatures is not enough.
+
+Reproduces the paper's motivating experiment (Section I): signature
+closure (SC) — just dropping the identifying points — looks private
+under the linking attack, but an HMM map-matching adversary recovers
+the original routes, while the frequency-based GL model resists both.
+
+Run with::
+
+    python examples/attack_lab.py
+"""
+
+from repro import FleetConfig, GL, generate_fleet
+from repro.attacks.linkage import LinkageAttack
+from repro.attacks.recovery import RecoveryAttack
+from repro.baselines.signature_closure import SignatureClosure
+from repro.metrics.recovery import score_recovery
+
+
+def audit(name, original, anonymized, fleet):
+    attack = LinkageAttack(cell_size=250.0)
+    la = attack.linking_accuracy(original, anonymized, "spatial")
+    sample = 10
+    recovery = RecoveryAttack(
+        fleet.network,
+        sigma=40.0,
+        beta=60.0,
+        candidate_radius=200.0,
+    ).run(anonymized.subset(sample))
+    rec = score_recovery(
+        fleet.network, original.subset(sample), fleet.routes, recovery
+    )
+    print(f"{name:<12s} LA_s={la:5.3f}   route-F={rec.f_score:5.3f} "
+          f"RMF={rec.rmf:5.3f}  point-acc={rec.accuracy:5.3f}")
+    return la, rec
+
+
+def main() -> None:
+    fleet = generate_fleet(
+        FleetConfig(n_objects=40, points_per_trajectory=150, rows=16, cols=16, seed=9)
+    )
+    print("method       re-identification   recovery attack")
+    print("-" * 64)
+
+    audit("raw", fleet.dataset, fleet.dataset, fleet)
+
+    sc = SignatureClosure(signature_size=5).anonymize(fleet.dataset)
+    audit("SC", fleet.dataset, sc, fleet)
+
+    gl = GL(epsilon=1.0, signature_size=5, seed=3).anonymize(fleet.dataset)
+    audit("GL (ours)", fleet.dataset, gl, fleet)
+
+    print("\nReading the table:")
+    print(" * raw data: trivially linkable and recoverable — the threat.")
+    print(" * SC: linking drops, but map matching still reconstructs the")
+    print("   routes (the paper's recovery-attack finding).")
+    print(" * GL: frequency randomization keeps linking low AND makes the")
+    print("   recovered routes diverge (higher RMF = more hallucinated")
+    print("   detours an attacker cannot tell apart from real ones).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Quickstart: anonymize a taxi fleet with the GL model in ~20 lines.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import FleetConfig, GL, generate_fleet
+
+def main() -> None:
+    # 1. A synthetic T-Drive-like fleet: 40 taxis on a road network,
+    #    each with a home and personal haunts (their future signatures).
+    fleet = generate_fleet(
+        FleetConfig(n_objects=40, points_per_trajectory=150, rows=16, cols=16, seed=1)
+    )
+    print("original :", fleet.dataset.stats())
+
+    # 2. The paper's full model: global TF + local PF randomization,
+    #    total privacy budget eps = 1.0 split evenly (Theorem 1).
+    anonymizer = GL(epsilon=1.0, signature_size=5, seed=0)
+    private = anonymizer.anonymize(fleet.dataset)
+    print("anonymized:", private.stats())
+
+    # 3. What happened, exactly?
+    report = anonymizer.last_report
+    print(f"\ntotal privacy budget  eps = {report.epsilon_total}")
+    for label, epsilon in report.budget_ledger:
+        print(f"  spent {epsilon:.2f} on {label}")
+    print(f"global modification: {report.global_report.insertions} insertions, "
+          f"{report.global_report.deletions} deletions")
+    print(f"local  modification: {report.local_report.insertions} insertions, "
+          f"{report.local_report.deletions} deletions")
+    print(f"accumulated utility loss: {report.utility_loss / 1000.0:.1f} km")
+
+    # 4. The headline effect: the most identifying location of taxi 0
+    #    no longer dominates its trajectory.
+    from repro.core.signature import SignatureExtractor
+
+    signature = SignatureExtractor(m=1).extract(fleet.dataset)
+    top = signature.signatures["obj00000"][0]
+    before = fleet.dataset[0].point_frequencies()[top.loc]
+    after = private[0].point_frequencies().get(top.loc, 0)
+    print(f"\ntaxi obj00000's top signature point {top.loc}:")
+    print(f"  visited {before}x before anonymization, {after}x after")
+
+
+if __name__ == "__main__":
+    main()

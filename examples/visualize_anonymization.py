@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Visualize what the anonymizer actually does to a trajectory.
+
+Renders three SVGs into the output directory:
+
+* ``fleet.svg``        — the whole fleet over the road network, with
+  every object's signature points marked;
+* ``before_after.svg`` — one taxi's original (blue) vs GL-anonymized
+  (orange) trajectory;
+* ``private_fleet.svg`` — the published dataset.
+
+Run with::
+
+    python examples/visualize_anonymization.py [output_dir]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import FleetConfig, GL, generate_fleet
+from repro.core.signature import SignatureExtractor
+from repro.viz.svg import render_comparison, render_fleet
+
+
+def main() -> None:
+    output = Path(sys.argv[1]) if len(sys.argv) > 1 else (
+        Path(tempfile.gettempdir()) / "repro_viz"
+    )
+    output.mkdir(parents=True, exist_ok=True)
+
+    fleet = generate_fleet(
+        FleetConfig(n_objects=12, points_per_trajectory=120, rows=14, cols=14, seed=21)
+    )
+
+    # Mark every object's top-3 signature locations.
+    index = SignatureExtractor(m=3).extract(fleet.dataset)
+    markers = sorted(index.candidate_set)
+    (output / "fleet.svg").write_text(
+        render_fleet(fleet.dataset, network=fleet.network, markers=markers)
+    )
+    print(f"fleet + signatures      -> {output / 'fleet.svg'}")
+
+    anonymizer = GL(epsilon=1.0, signature_size=3, seed=5)
+    private = anonymizer.anonymize(fleet.dataset)
+
+    (output / "before_after.svg").write_text(
+        render_comparison(
+            fleet.dataset[0], private[0], network=fleet.network
+        )
+    )
+    print(f"one taxi before/after   -> {output / 'before_after.svg'}")
+
+    (output / "private_fleet.svg").write_text(
+        render_fleet(private, network=fleet.network)
+    )
+    print(f"published dataset       -> {output / 'private_fleet.svg'}")
+
+    report = anonymizer.last_report
+    print(f"\nedits applied: {report.global_report.insertions + report.local_report.insertions} "
+          f"insertions, {report.global_report.deletions + report.local_report.deletions} deletions "
+          f"across {len(private)} trajectories")
+    print("Open the SVGs in a browser; the orange detours and missing")
+    print("dwell clusters are the frequency perturbation at work.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Legacy setup shim so editable installs work without the `wheel` package.
+
+Mirrors the `[project.scripts]` entry point from pyproject.toml because
+older setuptools' `setup.py develop` path does not always materialise
+pyproject-declared scripts.
+"""
+
+from setuptools import setup
+
+setup(
+    entry_points={
+        "console_scripts": ["repro = repro.cli:main"],
+    }
+)

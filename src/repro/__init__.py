@@ -1,0 +1,31 @@
+"""repro — Frequency-based randomization for DP spatial trajectory publishing.
+
+A reproduction of Jin, Hua, Ruan, Zhou, *"Frequency-based Randomization
+for Guaranteeing Differential Privacy in Spatial Trajectories"* (ICDE
+2022), including the signature-based DP mechanisms, trajectory
+modification machinery, hierarchical grid index, every baseline the
+paper compares against, the attack models it evaluates with, and a
+synthetic T-Drive-like data substrate.
+"""
+
+from repro.trajectory.model import Point, Trajectory, TrajectoryDataset
+from repro.datagen.generator import FleetConfig, FleetResult, generate_fleet
+from repro.datagen.road_network import RoadNetwork, build_road_network
+from repro.core.pipeline import GL, FrequencyAnonymizer, PureG, PureL
+
+__all__ = [
+    "FleetConfig",
+    "FleetResult",
+    "FrequencyAnonymizer",
+    "GL",
+    "Point",
+    "PureG",
+    "PureL",
+    "RoadNetwork",
+    "Trajectory",
+    "TrajectoryDataset",
+    "build_road_network",
+    "generate_fleet",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,20 @@
+"""Attack models used in the paper's evaluation.
+
+* :mod:`repro.attacks.linkage` — the re-identification (linking) attack
+  of [3], with spatial / temporal / spatiotemporal / sequential
+  signature variants (the LA columns of Table II);
+* :mod:`repro.attacks.hmm` — Newson-Krumm HMM map matching [34];
+* :mod:`repro.attacks.recovery` — the recovery attack: reconstructing
+  original road paths from anonymized trajectories via map matching.
+"""
+
+from repro.attacks.linkage import LinkageAttack, LinkageResult
+from repro.attacks.hmm import HmmMapMatcher
+from repro.attacks.recovery import RecoveryAttack
+
+__all__ = [
+    "HmmMapMatcher",
+    "LinkageAttack",
+    "LinkageResult",
+    "RecoveryAttack",
+]

@@ -1,0 +1,233 @@
+"""Newson-Krumm HMM map matching [34].
+
+Given a (possibly noisy/anonymized) point sequence and a road network,
+find the most probable road path:
+
+* **candidates** — for every sample, the road edges within
+  ``candidate_radius`` metres (capped at ``max_candidates``);
+* **emission** — Gaussian in the point-to-edge distance with std
+  ``sigma``;
+* **transition** — exponential in the *route/great-circle discrepancy*
+  ``|route_distance - euclidean_distance|`` with scale ``beta`` (the
+  Newson-Krumm robust transition);
+* **decoding** — Viterbi over the trellis; samples with no candidates
+  break the chain and matching restarts (gap handling as in the paper).
+
+Route distances between consecutive candidates are computed with
+cutoff-bounded Dijkstra searches from the candidate's edge endpoints.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+
+from repro.datagen.road_network import Edge, RoadNetwork
+from repro.geo.geometry import Coord, point_distance
+from repro.trajectory.model import Trajectory
+
+
+@dataclass(frozen=True, slots=True)
+class Candidate:
+    """One candidate match: a point projected onto a road edge."""
+
+    edge: Edge
+    #: Projection of the sample onto the edge.
+    position: Coord
+    #: Distance from edge endpoint ``u`` to the projection, metres.
+    offset: float
+    #: Perpendicular distance from the sample to the edge.
+    error: float
+
+
+@dataclass(slots=True)
+class MatchResult:
+    """The decoded road path for one trajectory."""
+
+    #: Matched candidate per sample (None where matching broke).
+    candidates: list[Candidate | None]
+    #: Ordered traversed edge keys, consecutive duplicates collapsed.
+    edge_keys: list[tuple[int, int]]
+
+    @property
+    def matched_fraction(self) -> float:
+        if not self.candidates:
+            return 0.0
+        matched = sum(1 for c in self.candidates if c is not None)
+        return matched / len(self.candidates)
+
+
+class HmmMapMatcher:
+    """Viterbi map matching against a :class:`RoadNetwork`."""
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        sigma: float = 50.0,
+        beta: float = 200.0,
+        candidate_radius: float = 250.0,
+        max_candidates: int = 5,
+        route_cutoff_factor: float = 5.0,
+    ) -> None:
+        if sigma <= 0 or beta <= 0:
+            raise ValueError("sigma and beta must be positive")
+        self.network = network
+        self.sigma = sigma
+        self.beta = beta
+        self.candidate_radius = candidate_radius
+        self.max_candidates = max_candidates
+        self.route_cutoff_factor = route_cutoff_factor
+
+    # -- probabilities (log space) ---------------------------------------------------
+
+    def _log_emission(self, error: float) -> float:
+        return -0.5 * (error / self.sigma) ** 2
+
+    def _log_transition(self, route_distance: float, straight: float) -> float:
+        return -abs(route_distance - straight) / self.beta
+
+    # -- candidate generation -----------------------------------------------------------
+
+    def candidates_for(self, coord: Coord) -> list[Candidate]:
+        hits = self.network.edges_near(coord, self.candidate_radius)
+        candidates = []
+        for edge, error in hits[: self.max_candidates]:
+            position, offset = self.network.project(coord, edge)
+            candidates.append(
+                Candidate(edge=edge, position=position, offset=offset, error=error)
+            )
+        return candidates
+
+    # -- route distance -------------------------------------------------------------------
+
+    def _bounded_dijkstra(
+        self, source: int, targets: set[int], cutoff: float
+    ) -> dict[int, float]:
+        """Distances from ``source`` to ``targets``, bounded by ``cutoff``."""
+        found: dict[int, float] = {}
+        dist = {source: 0.0}
+        heap: list[tuple[float, int]] = [(0.0, source)]
+        remaining = set(targets)
+        while heap and remaining:
+            d, node = heapq.heappop(heap)
+            if d > cutoff:
+                break
+            if d > dist.get(node, float("inf")):
+                continue
+            if node in remaining:
+                found[node] = d
+                remaining.discard(node)
+            for edge in self.network.adjacency[node]:
+                neighbour = edge.other(node)
+                candidate = d + edge.length
+                if candidate <= cutoff and candidate < dist.get(
+                    neighbour, float("inf")
+                ):
+                    dist[neighbour] = candidate
+                    heapq.heappush(heap, (candidate, neighbour))
+        return found
+
+    def route_distance(self, a: Candidate, b: Candidate, cutoff: float) -> float:
+        """Network distance between two candidate positions (inf if > cutoff)."""
+        if a.edge.key == b.edge.key:
+            return abs(b.offset - a.offset)
+        targets = {b.edge.u, b.edge.v}
+        best = float("inf")
+        # Leave edge a via either endpoint, reach edge b via either endpoint.
+        for exit_node, exit_cost in (
+            (a.edge.u, a.offset),
+            (a.edge.v, a.edge.length - a.offset),
+        ):
+            reached = self._bounded_dijkstra(exit_node, targets, cutoff)
+            for enter_node, node_dist in reached.items():
+                enter_cost = (
+                    b.offset if enter_node == b.edge.u else b.edge.length - b.offset
+                )
+                total = exit_cost + node_dist + enter_cost
+                if total < best:
+                    best = total
+        return best
+
+    # -- decoding ------------------------------------------------------------------------------
+
+    def match(self, trajectory: Trajectory) -> MatchResult:
+        """Viterbi decoding of the whole trajectory."""
+        coords = [p.coord for p in trajectory]
+        matched: list[Candidate | None] = [None] * len(coords)
+
+        segment_start = 0
+        while segment_start < len(coords):
+            segment_end = self._decode_segment(coords, segment_start, matched)
+            segment_start = segment_end + 1
+
+        edge_keys: list[tuple[int, int]] = []
+        for candidate in matched:
+            if candidate is None:
+                continue
+            key = candidate.edge.key
+            if not edge_keys or edge_keys[-1] != key:
+                edge_keys.append(key)
+        return MatchResult(candidates=matched, edge_keys=edge_keys)
+
+    def _decode_segment(
+        self, coords: list[Coord], start: int, matched: list[Candidate | None]
+    ) -> int:
+        """Viterbi over a maximal run of samples with candidates.
+
+        Returns the index of the last sample processed (the run ends at
+        a candidate-less sample or the end of the trajectory).
+        """
+        first_candidates = self.candidates_for(coords[start])
+        if not first_candidates:
+            return start  # no candidates: leave unmatched, move on
+        scores = [self._log_emission(c.error) for c in first_candidates]
+        layers: list[list[Candidate]] = [first_candidates]
+        backpointers: list[list[int]] = [[-1] * len(first_candidates)]
+
+        end = start
+        for index in range(start + 1, len(coords)):
+            candidates = self.candidates_for(coords[index])
+            if not candidates:
+                break
+            straight = point_distance(coords[index - 1], coords[index])
+            cutoff = max(
+                straight * self.route_cutoff_factor, 2.0 * self.candidate_radius
+            )
+            new_scores = []
+            pointers = []
+            for candidate in candidates:
+                best_score = -math.inf
+                best_prev = -1
+                for prev_index, previous in enumerate(layers[-1]):
+                    if scores[prev_index] == -math.inf:
+                        continue
+                    route = self.route_distance(previous, candidate, cutoff)
+                    if math.isinf(route):
+                        continue
+                    score = scores[prev_index] + self._log_transition(
+                        route, straight
+                    )
+                    if score > best_score:
+                        best_score = score
+                        best_prev = prev_index
+                if best_prev >= 0:
+                    best_score += self._log_emission(candidate.error)
+                new_scores.append(best_score)
+                pointers.append(best_prev)
+            if all(s == -math.inf for s in new_scores):
+                break
+            layers.append(candidates)
+            backpointers.append(pointers)
+            scores = new_scores
+            end = index
+
+        # Backtrack from the best final state.
+        best_final = max(range(len(scores)), key=lambda i: scores[i])
+        position = best_final
+        for layer_index in range(len(layers) - 1, -1, -1):
+            if position < 0:
+                break
+            matched[start + layer_index] = layers[layer_index][position]
+            position = backpointers[layer_index][position]
+        return end

@@ -1,0 +1,115 @@
+"""Shortest-path inference: the second recovery technique the paper names.
+
+Where HMM map matching (``repro.attacks.hmm``) decodes jointly over the
+whole sequence, *path inference* reconstructs the route greedily: snap
+every sample to its nearest road node and connect consecutive snapped
+nodes with network shortest paths. It is cheaper and — on sparsely
+sampled or lightly perturbed data — often nearly as effective, which is
+exactly why publishing point-deleted trajectories (SC) remains unsafe.
+
+The output is interchangeable with the HMM attack's
+(:class:`repro.attacks.hmm.MatchResult`), so the same scoring applies.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.hmm import MatchResult
+from repro.attacks.recovery import RecoveryOutput
+from repro.datagen.road_network import RoadNetwork
+from repro.geo.geometry import point_distance
+from repro.trajectory.model import Trajectory, TrajectoryDataset
+
+
+class PathInferenceAttack:
+    """Greedy snap-and-route trajectory recovery."""
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        snap_radius: float = 300.0,
+        max_leg_factor: float = 6.0,
+        max_points_per_trajectory: int | None = None,
+    ) -> None:
+        """``snap_radius`` bounds how far a sample may sit from the road
+        it is snapped to; samples beyond it are skipped. ``max_leg_factor``
+        rejects inferred legs whose network length exceeds that multiple
+        of the straight-line distance (an implausible detour — treated
+        as a gap, as real inference systems do)."""
+        if snap_radius <= 0:
+            raise ValueError("snap radius must be positive")
+        if max_leg_factor < 1.0:
+            raise ValueError("max_leg_factor must be at least 1")
+        self.network = network
+        self.snap_radius = snap_radius
+        self.max_leg_factor = max_leg_factor
+        self.max_points_per_trajectory = max_points_per_trajectory
+
+    def infer(self, trajectory: Trajectory) -> MatchResult:
+        """Reconstruct one trajectory's route."""
+        points = trajectory.points
+        if self.max_points_per_trajectory is not None:
+            points = points[: self.max_points_per_trajectory]
+
+        snapped: list[int | None] = []
+        for point in points:
+            node = self.network.nearest_node(point.coord)
+            gap = point_distance(point.coord, self.network.node_coord(node))
+            snapped.append(node if gap <= self.snap_radius else None)
+
+        edge_keys: list[tuple[int, int]] = []
+        previous: int | None = None
+        for point, node in zip(points, snapped):
+            if node is None:
+                previous = None  # gap: restart route stitching
+                continue
+            if previous is not None and previous != node:
+                straight = point_distance(
+                    self.network.node_coord(previous),
+                    self.network.node_coord(node),
+                )
+                try:
+                    path = self.network.shortest_path(previous, node)
+                except ValueError:
+                    previous = node
+                    continue
+                length = sum(
+                    point_distance(
+                        self.network.node_coord(path[i]),
+                        self.network.node_coord(path[i + 1]),
+                    )
+                    for i in range(len(path) - 1)
+                )
+                if straight > 0 and length / straight <= self.max_leg_factor:
+                    for i in range(len(path) - 1):
+                        u, v = path[i], path[i + 1]
+                        key = (u, v) if u < v else (v, u)
+                        if not edge_keys or edge_keys[-1] != key:
+                            edge_keys.append(key)
+            previous = node
+
+        # Path inference has no per-sample candidates; report the
+        # snapped coverage through the candidates slot as None-padding
+        # so matched_fraction still reflects gap frequency.
+        return MatchResult(
+            candidates=[None if n is None else _SNAPPED for n in snapped],
+            edge_keys=edge_keys,
+        )
+
+    def run(self, dataset: TrajectoryDataset) -> RecoveryOutput:
+        """Infer routes for a whole dataset (positional alignment)."""
+        output = RecoveryOutput()
+        for trajectory in dataset:
+            output.results.append(self.infer(trajectory))
+        return output
+
+
+class _Snapped:
+    """Sentinel standing in for a candidate in MatchResult slots."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<snapped>"
+
+
+_SNAPPED = _Snapped()

@@ -1,0 +1,30 @@
+"""Every baseline the paper compares against (Table II).
+
+* k-anonymity family: :class:`~repro.baselines.w4m.W4M`,
+  :class:`~repro.baselines.glove.Glove`, :class:`~repro.baselines.klt.KLT`;
+* signature family: :class:`~repro.baselines.signature_closure.SignatureClosure`
+  (SC) and :class:`~repro.baselines.signature_closure.RadiusSignatureClosure`
+  (RSC-α);
+* generative DP family: :class:`~repro.baselines.dpt.DPT`,
+  :class:`~repro.baselines.adatrace.AdaTrace`.
+
+All expose ``anonymize(dataset) -> TrajectoryDataset`` like the
+frequency-based models in :mod:`repro.core.pipeline`.
+"""
+
+from repro.baselines.signature_closure import RadiusSignatureClosure, SignatureClosure
+from repro.baselines.w4m import W4M
+from repro.baselines.glove import Glove
+from repro.baselines.klt import KLT
+from repro.baselines.dpt import DPT
+from repro.baselines.adatrace import AdaTrace
+
+__all__ = [
+    "AdaTrace",
+    "DPT",
+    "Glove",
+    "KLT",
+    "RadiusSignatureClosure",
+    "SignatureClosure",
+    "W4M",
+]

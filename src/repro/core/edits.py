@@ -1,0 +1,328 @@
+"""Trajectory edit operations with utility-loss accounting (Section IV-A).
+
+:class:`EditableTrajectory` wraps a trajectory in a doubly-linked list of
+points and keeps a segment index synchronised through edits, so the
+modification optimisers can repeatedly run K-nearest-segment searches
+against the *current* shape of the trajectory (the paper's
+``ModifyAndUpdate``, Algorithm 3 line 36).
+
+Utility losses follow Definitions 5 and 6:
+
+* inserting ``q`` into segment ``<a, b>`` costs ``dist(q, <a, b>)``;
+* deleting the middle point of ``<a, q, b>`` costs ``dist(q, <a, b>)`` —
+  the distance from the removed point to the segment that replaces it.
+
+Boundary deletions (head or tail of the trajectory) have no replacement
+segment; we charge the distance to the single surviving neighbour, the
+natural degenerate case of Definition 6 (the "segment" collapses to a
+point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geo.geometry import Coord, point_distance, point_segment_distance
+from repro.index.base import SegmentIndex
+from repro.trajectory.model import LocationKey, Point, Trajectory
+
+
+class _Node:
+    """A point in the doubly-linked edit structure."""
+
+    __slots__ = ("point", "prev", "next", "out_sid", "seq")
+
+    _counter = 0
+
+    def __init__(self, point: Point) -> None:
+        self.point = point
+        self.prev: _Node | None = None
+        self.next: _Node | None = None
+        #: Id of the indexed segment (self -> self.next), if any.
+        self.out_sid: int | None = None
+        #: Creation order, used as a deterministic tie-breaker when
+        #: sorting occurrences by cost (node sets otherwise iterate in
+        #: memory-address order, which varies between runs).
+        _Node._counter += 1
+        self.seq = _Node._counter
+
+
+@dataclass(slots=True)
+class EditOutcome:
+    """Result of one edit operation."""
+
+    utility_loss: float
+    #: How many points were inserted (positive) or deleted (negative).
+    delta_points: int
+
+
+class EditableTrajectory:
+    """A trajectory under modification, with a live segment index.
+
+    Parameters
+    ----------
+    trajectory:
+        The source trajectory (copied; the original is not mutated).
+    index:
+        Any :class:`repro.index.base.SegmentIndex`. May be shared
+        between several editable trajectories (the inter-trajectory
+        modifier shares one dataset-wide index); segments are registered
+        with ``owner=trajectory.object_id`` so searches can aggregate
+        by trajectory.
+    """
+
+    def __init__(self, trajectory: Trajectory, index: SegmentIndex) -> None:
+        self.object_id = trajectory.object_id
+        self.index = index
+        self._head: _Node | None = None
+        self._tail: _Node | None = None
+        self._size = 0
+        self._nodes_by_loc: dict[LocationKey, set[_Node]] = {}
+        self._node_by_sid: dict[int, _Node] = {}
+        self.total_utility_loss = 0.0
+        self._bbox_cache: tuple | None = None
+        previous: _Node | None = None
+        for point in trajectory:
+            node = _Node(point)
+            self._register_node(node)
+            if previous is None:
+                self._head = node
+            else:
+                previous.next = node
+                node.prev = previous
+                self._index_segment(previous)
+            previous = node
+        self._tail = previous
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def _register_node(self, node: _Node) -> None:
+        self._nodes_by_loc.setdefault(node.point.loc, set()).add(node)
+        self._size += 1
+        self._bbox_cache = None
+
+    def _unregister_node(self, node: _Node) -> None:
+        bucket = self._nodes_by_loc.get(node.point.loc)
+        if bucket is not None:
+            bucket.discard(node)
+            if not bucket:
+                del self._nodes_by_loc[node.point.loc]
+        self._size -= 1
+        self._bbox_cache = None
+
+    def _index_segment(self, start: _Node) -> None:
+        assert start.next is not None
+        sid = self.index.insert(
+            start.point.coord, start.next.point.coord, owner=self.object_id
+        )
+        start.out_sid = sid
+        self._node_by_sid[sid] = start
+
+    def _unindex_segment(self, start: _Node) -> None:
+        if start.out_sid is not None:
+            self.index.remove(start.out_sid)
+            del self._node_by_sid[start.out_sid]
+            start.out_sid = None
+
+    def __len__(self) -> int:
+        return self._size
+
+    def occurrence_count(self, loc: LocationKey) -> int:
+        return len(self._nodes_by_loc.get(loc, ()))
+
+    def contains(self, loc: LocationKey) -> bool:
+        return loc in self._nodes_by_loc
+
+    def node_for_segment(self, sid: int) -> bool:
+        return sid in self._node_by_sid
+
+    def bbox(self):
+        """Current bounding box (cached; invalidated by edits).
+
+        Returns None for an empty trajectory. Used by the paper's
+        future-work optimisation: pruning unpromising trajectories by
+        their bounding box during inter-trajectory modification.
+        """
+        if self._size == 0:
+            return None
+        if self._bbox_cache is None:
+            from repro.geo.geometry import BBox
+
+            coords = []
+            node = self._head
+            while node is not None:
+                coords.append(node.point.coord)
+                node = node.next
+            self._bbox_cache = BBox.from_points(coords)
+        return self._bbox_cache
+
+    def min_possible_insertion_cost(self, loc: LocationKey) -> float:
+        """Lower bound on the insertion loss of ``loc`` (Theorem 4 style).
+
+        The distance from ``loc`` to the trajectory's bounding box
+        lower-bounds its distance to every segment, so a trajectory can
+        be pruned when this bound exceeds the current K-th best cost.
+        """
+        box = self.bbox()
+        if box is None:
+            return float("inf")
+        return box.min_distance(loc)
+
+    def nearest_own_segment(self, loc: LocationKey) -> tuple[int | None, float]:
+        """This trajectory's nearest segment to ``loc`` (exact scan)."""
+        best_sid = None
+        best = float("inf")
+        for sid, node in self._node_by_sid.items():
+            assert node.next is not None
+            d = point_segment_distance(
+                loc, node.point.coord, node.next.point.coord
+            )
+            if d < best:
+                best = d
+                best_sid = sid
+        return best_sid, best
+
+    # -- insertion (OP_i) ----------------------------------------------------------
+
+    def insertion_cost(self, q: Coord, sid: int) -> float:
+        """dist(q, segment sid) — Definition 5."""
+        start = self._node_by_sid[sid]
+        assert start.next is not None
+        return point_segment_distance(q, start.point.coord, start.next.point.coord)
+
+    def insert_into_segment(self, loc: LocationKey, sid: int) -> EditOutcome:
+        """Insert an occurrence of ``loc`` into segment ``sid``.
+
+        The segment is replaced in the index by the two halves created
+        by the splice.
+        """
+        start = self._node_by_sid.get(sid)
+        if start is None:
+            raise KeyError(f"segment {sid} does not belong to {self.object_id}")
+        after = start.next
+        assert after is not None
+        loss = point_segment_distance(loc, start.point.coord, after.point.coord)
+        t = (start.point.t + after.point.t) / 2.0
+        node = _Node(Point(loc[0], loc[1], t))
+        self._unindex_segment(start)
+        start.next = node
+        node.prev = start
+        node.next = after
+        after.prev = node
+        self._register_node(node)
+        self._index_segment(start)
+        self._index_segment(node)
+        self.total_utility_loss += loss
+        return EditOutcome(utility_loss=loss, delta_points=1)
+
+    def append(self, loc: LocationKey) -> EditOutcome:
+        """Append an occurrence at the tail (fallback when no segment exists)."""
+        t = self._tail.point.t + 1.0 if self._tail is not None else 0.0
+        node = _Node(Point(loc[0], loc[1], t))
+        loss = 0.0
+        if self._tail is None:
+            self._head = self._tail = node
+        else:
+            loss = point_distance(self._tail.point.coord, node.point.coord)
+            self._tail.next = node
+            node.prev = self._tail
+            self._index_segment(self._tail)
+            self._tail = node
+        self._register_node(node)
+        self.total_utility_loss += loss
+        return EditOutcome(utility_loss=loss, delta_points=1)
+
+    # -- deletion (OP_d) -------------------------------------------------------------
+
+    def deletion_cost(self, node: _Node) -> float:
+        """Cost of removing ``node`` — Definition 6 (or its boundary case)."""
+        before = node.prev
+        after = node.next
+        if before is not None and after is not None:
+            return point_segment_distance(
+                node.point.coord, before.point.coord, after.point.coord
+            )
+        neighbour = before or after
+        if neighbour is None:
+            return 0.0
+        return point_distance(node.point.coord, neighbour.point.coord)
+
+    def occurrence_costs(self, loc: LocationKey) -> list[tuple[float, _Node]]:
+        """Deletion cost of each current occurrence of ``loc``, cheapest first."""
+        nodes = self._nodes_by_loc.get(loc, ())
+        costs = [(self.deletion_cost(node), node) for node in nodes]
+        costs.sort(key=lambda item: (item[0], item[1].seq))
+        return costs
+
+    def delete_node(self, node: _Node) -> EditOutcome:
+        """Remove one occurrence, reconnecting and re-indexing neighbours."""
+        loss = self.deletion_cost(node)
+        before = node.prev
+        after = node.next
+        if before is not None:
+            self._unindex_segment(before)
+        if after is not None:
+            self._unindex_segment(node)
+        if before is not None and after is not None:
+            before.next = after
+            after.prev = before
+            self._index_segment(before)
+        elif before is not None:  # deleting the tail
+            before.next = None
+            self._tail = before
+        elif after is not None:  # deleting the head
+            after.prev = None
+            self._head = after
+        else:  # deleting the only point
+            self._head = self._tail = None
+        self._unregister_node(node)
+        self.total_utility_loss += loss
+        return EditOutcome(utility_loss=loss, delta_points=-1)
+
+    def delete_cheapest(self, loc: LocationKey, count: int) -> EditOutcome:
+        """Delete up to ``count`` occurrences of ``loc``, cheapest first.
+
+        Costs are recomputed after every removal since deleting one
+        occurrence changes its neighbours' replacement segments.
+        """
+        total = 0.0
+        removed = 0
+        for _ in range(count):
+            costs = self.occurrence_costs(loc)
+            if not costs:
+                break
+            _, node = costs[0]
+            outcome = self.delete_node(node)
+            total += outcome.utility_loss
+            removed += 1
+        return EditOutcome(utility_loss=total, delta_points=-removed)
+
+    def delete_all(self, loc: LocationKey) -> EditOutcome:
+        """Remove every occurrence of ``loc`` (TF-decrease semantics)."""
+        return self.delete_cheapest(loc, self.occurrence_count(loc))
+
+    def complete_deletion_cost(self, loc: LocationKey) -> float:
+        """L[OP_d(q, τ)]: total cost of removing every occurrence of ``loc``.
+
+        Evaluated non-destructively on the current state (summing the
+        current per-occurrence costs), which matches the paper's
+        aggregate definition.
+        """
+        return sum(cost for cost, _ in self.occurrence_costs(loc))
+
+    # -- export -----------------------------------------------------------------------
+
+    def to_trajectory(self) -> Trajectory:
+        points = []
+        node = self._head
+        while node is not None:
+            points.append(node.point)
+            node = node.next
+        return Trajectory(self.object_id, points)
+
+    def detach(self) -> None:
+        """Remove all of this trajectory's segments from the shared index."""
+        node = self._head
+        while node is not None:
+            self._unindex_segment(node)
+            node = node.next

@@ -1,0 +1,82 @@
+"""Algorithm 1: the global TF randomization mechanism.
+
+Perturbs the trajectory-frequency distribution of the candidate set P
+with zero-mean Laplace noise of scale ``1/ε_G`` (the TF point-counting
+query has sensitivity 1: adding or removing one trajectory changes any
+TF value by at most 1), then rounds each noisy value into the legal
+integer range ``[0, |D|]`` — pure post-processing that cannot weaken
+the guarantee.
+
+The output is a *target* TF distribution; realising it on the dataset
+is the job of the inter-trajectory modifier (Section IV-B1).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.laplace import LaplaceMechanism
+from repro.trajectory.model import LocationKey
+
+
+@dataclass(frozen=True, slots=True)
+class TFPerturbation:
+    """Original vs perturbed global TF over the candidate set P."""
+
+    original: dict[LocationKey, int]
+    perturbed: dict[LocationKey, int]
+    epsilon: float
+
+    def delta(self, loc: LocationKey) -> int:
+        """Signed TF change required for ``loc``."""
+        return self.perturbed[loc] - self.original[loc]
+
+    def increases(self) -> list[tuple[LocationKey, int]]:
+        """Locations whose TF must grow, with the (positive) amount."""
+        return [
+            (loc, self.perturbed[loc] - tf)
+            for loc, tf in self.original.items()
+            if self.perturbed[loc] > tf
+        ]
+
+    def decreases(self) -> list[tuple[LocationKey, int]]:
+        """Locations whose TF must shrink, with the (positive) amount."""
+        return [
+            (loc, tf - self.perturbed[loc])
+            for loc, tf in self.original.items()
+            if self.perturbed[loc] < tf
+        ]
+
+
+class GlobalTFMechanism:
+    """ε_G-differentially-private TF perturbation (Algorithm 1, lines 1-6)."""
+
+    #: Sensitivity of the TF point-counting query φ(D, p).
+    SENSITIVITY = 1.0
+
+    def __init__(self, epsilon: float) -> None:
+        self.mechanism = LaplaceMechanism(epsilon, sensitivity=self.SENSITIVITY)
+
+    @property
+    def epsilon(self) -> float:
+        return self.mechanism.epsilon
+
+    def perturb(
+        self,
+        tf: dict[LocationKey, int],
+        dataset_size: int,
+        rng: random.Random,
+    ) -> TFPerturbation:
+        """Noisy TF for every location of P, clamped into ``[0, |D|]``."""
+        if dataset_size < 1:
+            raise ValueError("dataset size must be positive")
+        perturbed: dict[LocationKey, int] = {}
+        # Deterministic iteration order so a seeded rng reproduces runs.
+        for loc in sorted(tf):
+            perturbed[loc] = self.mechanism.perturb_count(
+                tf[loc], rng, mu=0.0, lower=0, upper=dataset_size
+            )
+        return TFPerturbation(
+            original=dict(tf), perturbed=perturbed, epsilon=self.epsilon
+        )

@@ -1,0 +1,143 @@
+"""Algorithm 2: the local PF randomization mechanism.
+
+For each trajectory, a list of ``2m`` target locations is selected
+(top-m signature first, then other candidate-set locations, then random
+fill — see :func:`repro.core.signature.select_perturbation_targets`) and
+perturbed in two stages:
+
+* **Stage 1** (the top-m signature locations): noise is drawn from
+  ``Lap(-f_k, 1/ε_L)`` — a Laplace centred at *minus the current
+  frequency*, so the noisy frequency lands near zero with high
+  probability, diluting the location's representativeness. The actual
+  applied noise of the stage is averaged into μ̄ (which is typically
+  negative).
+
+* **Stage 2** (the next m locations): noise is drawn from
+  ``Lap(-μ̄, 1/ε_L)`` — centred at minus the average Stage-1 noise, so
+  the trajectory's cardinality drop is compensated by frequency raises
+  elsewhere, keeping overall utility.
+
+Theorem 2 shows a non-zero mean leaves the ε-DP guarantee intact
+because the privacy ratio only depends on the scale; Theorem 3
+instantiates it for this two-stage scheme.
+
+The output is a target PF distribution per trajectory; realising it is
+the job of the intra-trajectory modifier (Section IV-B2).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.laplace import LaplaceMechanism
+from repro.core.signature import SignatureIndex, select_perturbation_targets
+from repro.trajectory.model import LocationKey, Trajectory, TrajectoryDataset
+
+
+@dataclass(frozen=True, slots=True)
+class PFPerturbation:
+    """Original vs perturbed PF for the selected locations of one trajectory."""
+
+    object_id: str
+    original: dict[LocationKey, int]
+    perturbed: dict[LocationKey, int]
+    #: Average noise actually applied in Stage 1 (μ̄ in the paper).
+    stage1_mean_noise: float
+    epsilon: float
+
+    def delta(self, loc: LocationKey) -> int:
+        return self.perturbed[loc] - self.original[loc]
+
+    def increases(self) -> list[tuple[LocationKey, int]]:
+        return [
+            (loc, self.perturbed[loc] - pf)
+            for loc, pf in self.original.items()
+            if self.perturbed[loc] > pf
+        ]
+
+    def decreases(self) -> list[tuple[LocationKey, int]]:
+        return [
+            (loc, pf - self.perturbed[loc])
+            for loc, pf in self.original.items()
+            if self.perturbed[loc] < pf
+        ]
+
+
+class LocalPFMechanism:
+    """ε_L-differentially-private PF perturbation (Algorithm 2)."""
+
+    #: Sensitivity of the PF point-counting query φ(p, τ).
+    SENSITIVITY = 1.0
+
+    def __init__(self, epsilon: float, m: int = 10) -> None:
+        if m < 1:
+            raise ValueError("signature size m must be at least 1")
+        self.mechanism = LaplaceMechanism(epsilon, sensitivity=self.SENSITIVITY)
+        self.m = m
+
+    @property
+    def epsilon(self) -> float:
+        return self.mechanism.epsilon
+
+    def perturb_trajectory(
+        self,
+        trajectory: Trajectory,
+        signature_index: SignatureIndex,
+        rng: random.Random,
+    ) -> PFPerturbation:
+        """Run both stages of Algorithm 2 on one trajectory."""
+        signature = signature_index.signatures[trajectory.object_id]
+        targets = select_perturbation_targets(
+            trajectory,
+            signature,
+            signature_index.candidate_set,
+            self.m,
+            rng,
+        )
+        pf = trajectory.point_frequencies()
+        original: dict[LocationKey, int] = {}
+        perturbed: dict[LocationKey, int] = {}
+
+        stage1 = targets[: self.m]
+        stage2 = targets[self.m : 2 * self.m]
+
+        # Stage 1: push signature frequencies toward zero.
+        noise_sum = 0.0
+        for loc in stage1:
+            fk = pf[loc]
+            original[loc] = fk
+            noisy = self.mechanism.perturb_count(fk, rng, mu=-float(fk), lower=0)
+            perturbed[loc] = noisy
+            noise_sum += noisy - fk
+        mean_noise = noise_sum / len(stage1) if stage1 else 0.0
+
+        # Stage 2: compensate cardinality with mean -μ̄.
+        for loc in stage2:
+            fk = pf[loc]
+            original[loc] = fk
+            perturbed[loc] = self.mechanism.perturb_count(
+                fk, rng, mu=-mean_noise, lower=0
+            )
+
+        return PFPerturbation(
+            object_id=trajectory.object_id,
+            original=original,
+            perturbed=perturbed,
+            stage1_mean_noise=mean_noise,
+            epsilon=self.epsilon,
+        )
+
+    def perturb(
+        self,
+        dataset: TrajectoryDataset,
+        signature_index: SignatureIndex,
+        rng: random.Random,
+    ) -> dict[str, PFPerturbation]:
+        """Stage-1+2 perturbations for every trajectory of the dataset."""
+        return {
+            trajectory.object_id: self.perturb_trajectory(
+                trajectory, signature_index, rng
+            )
+            for trajectory in dataset
+        }

@@ -1,0 +1,342 @@
+"""Intra- and inter-trajectory modification (Section IV-B).
+
+Given the perturbed frequency distributions produced by the mechanisms,
+these optimisers edit trajectories so the published data *satisfies*
+the noisy distributions while greedily minimising utility loss:
+
+* :class:`IntraTrajectoryModifier` realises each trajectory's perturbed
+  PF distribution (Definition 9) by reducing frequency changes to
+  K-nearest-segment searches (Definition 10);
+* :class:`InterTrajectoryModifier` realises the dataset's perturbed TF
+  distribution (Definition 7) by reducing trajectory selection to
+  K-nearest-trajectory searches (Definition 8), aggregated from a
+  shared dataset-wide segment index.
+
+Both support the paper's index backends (linear scan, uniform grid,
+hierarchical grid) and, for the hierarchical grid, the three search
+strategies of Section IV-C2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.edits import EditableTrajectory
+from repro.core.global_mechanism import TFPerturbation
+from repro.core.local_mechanism import PFPerturbation
+from repro.geo.geometry import BBox, Coord
+from repro.index.base import SegmentIndex
+from repro.index.hierarchical import HierarchicalGridIndex
+from repro.index.linear import LinearSegmentIndex
+from repro.index.uniform import UniformGridIndex
+from repro.trajectory.model import LocationKey, Trajectory, TrajectoryDataset
+
+IndexFactory = Callable[[BBox], SegmentIndex]
+
+#: Margin added around bounding boxes so inserted points near the edge
+#: still fall inside the grid extent.
+_BBOX_MARGIN = 10.0
+
+
+def make_index_factory(
+    backend: str = "hierarchical",
+    levels: int = 10,
+    granularity: int = 512,
+) -> IndexFactory:
+    """A factory building the requested index backend over a bbox.
+
+    ``backend`` is one of ``"linear"``, ``"uniform"``, ``"hierarchical"``,
+    or ``"rtree"``.
+    """
+    if backend == "linear":
+        return lambda bbox: LinearSegmentIndex()
+    if backend == "uniform":
+        return lambda bbox: UniformGridIndex(bbox, granularity=granularity)
+    if backend == "hierarchical":
+        return lambda bbox: HierarchicalGridIndex(bbox, levels=levels)
+    if backend == "rtree":
+        from repro.index.rtree import RTreeIndex
+
+        return lambda bbox: RTreeIndex()
+    raise ValueError(f"unknown index backend {backend!r}")
+
+
+def search_knn(
+    index: SegmentIndex, q: Coord, k: int, strategy: str
+) -> list[tuple[int, float]]:
+    """Dispatch kNN to the index, passing the strategy where supported."""
+    if isinstance(index, HierarchicalGridIndex):
+        return index.knn(q, k, strategy=strategy)
+    return index.knn(q, k)
+
+
+@dataclass(slots=True)
+class ModificationReport:
+    """Aggregate outcome of a modification pass."""
+
+    utility_loss: float = 0.0
+    insertions: int = 0
+    deletions: int = 0
+    #: Frequency changes that could not be realised (e.g. an insertion
+    #: target had no segments left). Kept for diagnostics; should be
+    #: zero on realistic data.
+    unrealised: int = 0
+
+    def merge(self, other: "ModificationReport") -> None:
+        self.utility_loss += other.utility_loss
+        self.insertions += other.insertions
+        self.deletions += other.deletions
+        self.unrealised += other.unrealised
+
+
+class IntraTrajectoryModifier:
+    """Realises a perturbed PF distribution on a single trajectory."""
+
+    def __init__(
+        self,
+        index_factory: IndexFactory | None = None,
+        strategy: str = "bottom_up_down",
+    ) -> None:
+        self.index_factory = index_factory or make_index_factory()
+        self.strategy = strategy
+
+    def apply(
+        self, trajectory: Trajectory, perturbation: PFPerturbation
+    ) -> tuple[Trajectory, ModificationReport]:
+        """A new trajectory satisfying ``perturbation``, plus the report.
+
+        Deletions run before insertions so freed capacity never forces
+        an insertion into a segment that is about to disappear.
+        """
+        report = ModificationReport()
+        if len(trajectory) == 0:
+            return trajectory.copy(), report
+        bbox = trajectory.bbox().expand(_BBOX_MARGIN)
+        editable = EditableTrajectory(trajectory, self.index_factory(bbox))
+
+        for loc, count in sorted(perturbation.decreases()):
+            outcome = editable.delete_cheapest(loc, count)
+            report.utility_loss += outcome.utility_loss
+            report.deletions += -outcome.delta_points
+            if -outcome.delta_points < count:
+                report.unrealised += count + outcome.delta_points
+
+        for loc, count in sorted(perturbation.increases()):
+            report.merge(self._insert(editable, loc, count))
+
+        return editable.to_trajectory(), report
+
+    def _insert(
+        self, editable: EditableTrajectory, loc: LocationKey, count: int
+    ) -> ModificationReport:
+        """Insert ``count`` occurrences into the nearest segments.
+
+        Mirrors Algorithm 3's usage: one top-``∆f`` search, then one
+        insertion per returned segment (splitting a segment does not
+        invalidate the other results).
+        """
+        report = ModificationReport()
+        hits = search_knn(editable.index, loc, count, self.strategy)
+        for sid, _ in hits:
+            outcome = editable.insert_into_segment(loc, sid)
+            report.utility_loss += outcome.utility_loss
+            report.insertions += 1
+        for _ in range(count - len(hits)):
+            # Degenerate trajectory with no segments: append instead.
+            outcome = editable.append(loc)
+            report.utility_loss += outcome.utility_loss
+            report.insertions += 1
+        return report
+
+
+class InterTrajectoryModifier:
+    """Realises a perturbed global TF distribution on the whole dataset.
+
+    ``trajectory_selection`` picks how the Δl nearest trajectories are
+    found for TF increases (Definition 8):
+
+    * ``"index"`` — scan the shared segment index outward from the
+      location and keep the first Δl distinct eligible owners (the
+      paper's published approach);
+    * ``"bbox"`` — the paper's future-work optimisation: rank
+      trajectories by the lower bound MINdist(loc, bbox(τ)) and
+      evaluate exact nearest-segment costs in bound order, stopping
+      once the next bound exceeds the current Δl-th best cost. Both
+      produce cost-equivalent selections.
+    """
+
+    def __init__(
+        self,
+        index_factory: IndexFactory | None = None,
+        strategy: str = "bottom_up_down",
+        trajectory_selection: str = "index",
+    ) -> None:
+        if trajectory_selection not in ("index", "bbox"):
+            raise ValueError(
+                f"unknown trajectory selection {trajectory_selection!r}"
+            )
+        self.index_factory = index_factory or make_index_factory()
+        self.strategy = strategy
+        self.trajectory_selection = trajectory_selection
+
+    def apply(
+        self, dataset: TrajectoryDataset, perturbation: TFPerturbation
+    ) -> tuple[TrajectoryDataset, ModificationReport]:
+        """A new dataset satisfying the perturbed TF distribution."""
+        report = ModificationReport()
+        if len(dataset) == 0:
+            return dataset.copy(), report
+        shared_index = self.index_factory(dataset.bbox().expand(_BBOX_MARGIN))
+        editables = {
+            trajectory.object_id: EditableTrajectory(trajectory, shared_index)
+            for trajectory in dataset
+        }
+
+        # TF decreases: completely delete the location from the Δl
+        # trajectories with the cheapest complete-deletion loss.
+        for loc, delta in sorted(perturbation.decreases()):
+            containing = [
+                editable
+                for editable in editables.values()
+                if editable.contains(loc)
+            ]
+            containing.sort(key=lambda e: e.complete_deletion_cost(loc))
+            for editable in containing[:delta]:
+                outcome = editable.delete_all(loc)
+                report.utility_loss += outcome.utility_loss
+                report.deletions += -outcome.delta_points
+            if len(containing) < delta:
+                report.unrealised += delta - len(containing)
+
+        # TF increases: insert the location once into each of the Δl
+        # nearest trajectories that do not already pass through it.
+        for loc, delta in sorted(perturbation.increases()):
+            if self.trajectory_selection == "bbox":
+                report.merge(
+                    self._insert_with_bbox_pruning(editables, loc, delta)
+                )
+            else:
+                report.merge(
+                    self._insert_into_nearest_trajectories(
+                        shared_index, editables, loc, delta
+                    )
+                )
+
+        modified = TrajectoryDataset(
+            editables[trajectory.object_id].to_trajectory() for trajectory in dataset
+        )
+        return modified, report
+
+    def _insert_into_nearest_trajectories(
+        self,
+        shared_index: SegmentIndex,
+        editables: dict[str, EditableTrajectory],
+        loc: LocationKey,
+        delta: int,
+    ) -> ModificationReport:
+        """K-nearest-trajectory search via the shared segment index.
+
+        A trajectory's insertion loss is the distance of its nearest
+        segment (Definition 8), so scanning segments in ascending
+        distance yields trajectories in ascending insertion loss; we
+        keep the first ``delta`` distinct eligible owners.
+        """
+        report = ModificationReport()
+        eligible = {
+            object_id
+            for object_id, editable in editables.items()
+            if not editable.contains(loc)
+        }
+        if not eligible:
+            report.unrealised += delta
+            return report
+
+        chosen: dict[str, int] = {}  # object id -> best segment sid
+        k = max(4 * delta, 16)
+        while True:
+            hits = search_knn(shared_index, loc, k, self.strategy)
+            for sid, _ in hits:
+                owner = shared_index.segment(sid).owner
+                if owner in eligible and owner not in chosen:
+                    chosen[owner] = sid
+                    if len(chosen) >= delta:
+                        break
+            if len(chosen) >= delta or k >= len(shared_index):
+                break
+            k = min(k * 4, max(len(shared_index), 1))
+
+        performed = 0
+        for owner, sid in chosen.items():
+            editable = editables[owner]
+            if not editable.node_for_segment(sid):
+                # The segment vanished through an earlier edit (cannot
+                # happen within one loc's batch, but guard anyway).
+                replacement = self._nearest_segment_of_owner(
+                    shared_index, loc, owner
+                )
+                if replacement is None:
+                    continue
+                sid = replacement
+            outcome = editable.insert_into_segment(loc, sid)
+            report.utility_loss += outcome.utility_loss
+            report.insertions += 1
+            performed += 1
+        report.unrealised += delta - performed
+        return report
+
+    def _insert_with_bbox_pruning(
+        self,
+        editables: dict[str, EditableTrajectory],
+        loc: LocationKey,
+        delta: int,
+    ) -> ModificationReport:
+        """TF increase via bounding-box pruning (paper's future work).
+
+        Trajectories are visited in ascending MINdist(loc, bbox) order;
+        exact nearest-segment costs are only computed until the next
+        bound cannot beat the current Δl-th best cost (the Theorem 4
+        argument lifted from cells to trajectories).
+        """
+        report = ModificationReport()
+        candidates = sorted(
+            (
+                (editable.min_possible_insertion_cost(loc), object_id)
+                for object_id, editable in editables.items()
+                if not editable.contains(loc)
+            ),
+        )
+        if not candidates:
+            report.unrealised += delta
+            return report
+
+        best: list[tuple[float, str, int]] = []  # (exact cost, owner, sid)
+        for bound, object_id in candidates:
+            if len(best) >= delta and bound > best[-1][0]:
+                break  # no remaining trajectory can beat the worst kept
+            sid, cost = editables[object_id].nearest_own_segment(loc)
+            if sid is None:
+                continue
+            best.append((cost, object_id, sid))
+            best.sort()
+            del best[delta:]
+
+        for _, owner, sid in best:
+            outcome = editables[owner].insert_into_segment(loc, sid)
+            report.utility_loss += outcome.utility_loss
+            report.insertions += 1
+        report.unrealised += delta - len(best)
+        return report
+
+    def _nearest_segment_of_owner(
+        self, shared_index: SegmentIndex, loc: LocationKey, owner: str
+    ) -> int | None:
+        """The owner's nearest segment to ``loc``, or None if it has none."""
+        k = 16
+        while True:
+            for sid, _ in search_knn(shared_index, loc, k, self.strategy):
+                if shared_index.segment(sid).owner == owner:
+                    return sid
+            if k >= len(shared_index):
+                return None
+            k = min(k * 4, max(len(shared_index), 1))

@@ -1,0 +1,81 @@
+"""Terminal line charts for the figure harnesses.
+
+A dependency-free ASCII renderer good enough to eyeball the shapes the
+paper's figures show (who is above whom, where curves cross). Used by
+``python -m repro.experiments.fig4`` / ``fig5``.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Glyph per series, cycled.
+MARKERS = "ox+*#@"
+
+
+def render_chart(
+    series: dict[str, list[float | None]],
+    x_values: list[float],
+    title: str = "",
+    width: int = 60,
+    height: int = 14,
+    log_y: bool = False,
+) -> str:
+    """Render named series over shared x positions as an ASCII chart.
+
+    ``None`` values are skipped. ``log_y`` plots the y axis in log10
+    (values must then be positive); x positions are mapped by rank, not
+    value, which suits the sparse sweeps the figures use.
+    """
+    if width < 10 or height < 4:
+        raise ValueError("chart too small to render")
+    points: list[tuple[int, float, str]] = []
+    for index, (name, values) in enumerate(series.items()):
+        marker = MARKERS[index % len(MARKERS)]
+        for xi, value in enumerate(values):
+            if value is None:
+                continue
+            y = float(value)
+            if log_y:
+                if y <= 0:
+                    continue
+                y = math.log10(y)
+            points.append((xi, y, marker))
+    if not points:
+        return f"{title}\n(no data)"
+
+    ys = [y for _, y, _ in points]
+    y_min, y_max = min(ys), max(ys)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    n_x = max(len(x_values), 2)
+
+    grid = [[" "] * width for _ in range(height)]
+    for xi, y, marker in points:
+        col = round(xi / (n_x - 1) * (width - 1))
+        row = round((y_max - y) / (y_max - y_min) * (height - 1))
+        grid[row][col] = marker
+
+    def y_label(row: int) -> float:
+        value = y_max - row / (height - 1) * (y_max - y_min)
+        return 10**value if log_y else value
+
+    lines = []
+    if title:
+        lines.append(title)
+    for row in range(height):
+        label = f"{y_label(row):10.3g} |" if row % 4 == 0 or row == height - 1 else "           |"
+        lines.append(label + "".join(grid[row]))
+    axis = "           +" + "-" * width
+    lines.append(axis)
+    labels = "            "
+    slots = max(len(x_values), 1)
+    per = max(width // slots, 1)
+    for x in x_values:
+        labels += f"{x:<{per}g}"
+    lines.append(labels[: 12 + width])
+    legend = "  legend: " + "  ".join(
+        f"{MARKERS[i % len(MARKERS)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(legend)
+    return "\n".join(lines)

@@ -1,0 +1,137 @@
+"""Shared evaluation: compute every Table II metric for one method."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attacks.linkage import LinkageAttack
+from repro.attacks.recovery import RecoveryAttack
+from repro.datagen.generator import FleetResult
+from repro.experiments.config import ExperimentConfig
+from repro.metrics.privacy import mutual_information
+from repro.metrics.recovery import score_recovery
+from repro.metrics.utility import (
+    diameter_error,
+    frequent_pattern_f1,
+    information_loss,
+    trip_error,
+)
+from repro.trajectory.model import TrajectoryDataset
+
+#: Table II column order.
+METRIC_COLUMNS = (
+    "LAs",
+    "LAt",
+    "LAst",
+    "LAsq",
+    "MI",
+    "INF",
+    "DE",
+    "TE",
+    "FFP",
+    "Precision",
+    "Recall",
+    "F-score",
+    "RMF",
+    "Accuracy",
+)
+
+
+@dataclass(slots=True)
+class Evaluation:
+    """All metrics for one (method, dataset) pair. None = not applicable."""
+
+    values: dict[str, float | None]
+
+    def row(self) -> list[str]:
+        cells = []
+        for column in METRIC_COLUMNS:
+            value = self.values.get(column)
+            cells.append("-" if value is None else f"{value:.3f}")
+        return cells
+
+
+def evaluate_method(
+    original: TrajectoryDataset,
+    anonymized: TrajectoryDataset,
+    fleet: FleetResult,
+    config: ExperimentConfig,
+    synthetic: bool = False,
+    with_recovery: bool = True,
+) -> Evaluation:
+    """Compute the full Table II metric set for one anonymized dataset.
+
+    ``synthetic`` marks generative models: like the paper, temporal /
+    spatiotemporal linkage and recovery are skipped for them (their
+    trajectories carry fresh synthetic clocks and are not road-aligned).
+    """
+    attack = LinkageAttack(
+        cell_size=config.linkage_cell, top_k=config.linkage_top_k
+    )
+    values: dict[str, float | None] = {}
+    values["LAs"] = attack.linking_accuracy(original, anonymized, "spatial")
+    if synthetic:
+        values["LAt"] = None
+        values["LAst"] = None
+    else:
+        values["LAt"] = attack.linking_accuracy(original, anonymized, "temporal")
+        values["LAst"] = attack.linking_accuracy(
+            original, anonymized, "spatiotemporal"
+        )
+    values["LAsq"] = attack.linking_accuracy(original, anonymized, "sequential")
+    values["MI"] = mutual_information(original, anonymized)
+
+    values["INF"] = information_loss(original, anonymized, sample_stride=2)
+    values["DE"] = diameter_error(original, anonymized)
+    values["TE"] = trip_error(original, anonymized)
+    values["FFP"] = frequent_pattern_f1(original, anonymized)
+
+    if synthetic or not with_recovery:
+        for column in ("Precision", "Recall", "F-score", "RMF", "Accuracy"):
+            values[column] = None
+    else:
+        from repro.trajectory.model import Trajectory
+
+        sample = min(config.recovery_sample, len(original))
+        original_sample = original.subset(sample)
+        anonymized_sample = anonymized.subset(sample)
+        # Point-accuracy compares original samples to the recovered
+        # route, so the originals are truncated like the probes.
+        truncated = TrajectoryDataset(
+            Trajectory(t.object_id, t.points[: config.recovery_max_points])
+            for t in original_sample
+        )
+        if config.recovery_attack == "path":
+            from repro.attacks.path_inference import PathInferenceAttack
+
+            attacker = PathInferenceAttack(
+                fleet.network,
+                max_points_per_trajectory=config.recovery_max_points,
+            )
+        else:
+            attacker = RecoveryAttack(
+                fleet.network,
+                sigma=config.recovery_sigma,
+                beta=config.recovery_beta,
+                candidate_radius=config.recovery_radius,
+                max_points_per_trajectory=config.recovery_max_points,
+            )
+        recovery = attacker.run(anonymized_sample)
+        # Probes are truncated to recovery_max_points, so truncate each
+        # ground-truth route to the (proportionally) covered prefix.
+        truth: dict[str, list[tuple[int, int]]] = {}
+        for trajectory in original_sample:
+            route = fleet.routes.get(trajectory.object_id, [])
+            fraction = min(
+                1.0, config.recovery_max_points / max(len(trajectory), 1)
+            )
+            truth[trajectory.object_id] = route[
+                : max(1, int(len(route) * fraction))
+            ]
+        metrics = score_recovery(fleet.network, truncated, truth, recovery)
+        values["Precision"] = metrics.precision
+        values["Recall"] = metrics.recall
+        values["F-score"] = metrics.f_score
+        values["RMF"] = metrics.rmf
+        values["Accuracy"] = metrics.accuracy
+    return Evaluation(values=values)

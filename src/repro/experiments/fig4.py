@@ -1,0 +1,93 @@
+"""Figure 4: impact of the privacy budget ε on PureG / PureL / GL.
+
+Eight panels, each a metric-vs-ε series per model: LA_s, INF, DE, TE,
+FFP, route-based F-score, route-based RMF, point-based Accuracy.
+Invoke with::
+
+    python -m repro.experiments.fig4 [smoke|default|large]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.datagen.generator import generate_fleet
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.evaluate import evaluate_method
+from repro.experiments.methods import build_our_models
+
+#: The paper sweeps ε over [0.1, 10].
+DEFAULT_EPSILONS = (0.1, 0.5, 1.0, 2.0, 5.0, 10.0)
+
+#: The eight panels of Figure 4 (metric keys from evaluate_method).
+PANELS = ("LAs", "INF", "DE", "TE", "FFP", "F-score", "RMF", "Accuracy")
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    epsilons: tuple[float, ...] = DEFAULT_EPSILONS,
+    verbose: bool = False,
+) -> dict[str, dict[str, list[float | None]]]:
+    """``{panel: {model: [value per ε]}}`` for the three models."""
+    config = config or ExperimentConfig.default()
+    fleet = generate_fleet(config.fleet)
+    series: dict[str, dict[str, list[float | None]]] = {
+        panel: {model: [] for model in ("PureG", "PureL", "GL")}
+        for panel in PANELS
+    }
+    for epsilon in epsilons:
+        swept = config.with_epsilon(epsilon)
+        for model, anonymize in build_our_models(swept).items():
+            anonymized = anonymize(fleet.dataset)
+            evaluation = evaluate_method(
+                fleet.dataset, anonymized, fleet, swept, synthetic=False
+            )
+            for panel in PANELS:
+                series[panel][model].append(evaluation.values.get(panel))
+            if verbose:
+                print(f"  eps={epsilon:<5g} {model:<6s} done", file=sys.stderr)
+    return series
+
+
+def format_series(
+    series: dict[str, dict[str, list[float | None]]],
+    epsilons: tuple[float, ...] = DEFAULT_EPSILONS,
+    charts: bool = False,
+) -> str:
+    lines = []
+    for panel, models in series.items():
+        lines.append(f"[{panel} vs eps]")
+        lines.append(
+            f"{'eps':<8s}" + "".join(f"{e:>8g}" for e in epsilons)
+        )
+        for model, values in models.items():
+            cells = "".join(
+                "     -  " if v is None else f"{v:8.3f}" for v in values
+            )
+            lines.append(f"{model:<8s}" + cells)
+        if charts:
+            from repro.experiments.charts import render_chart
+
+            lines.append(
+                render_chart(models, list(epsilons), title=f"{panel} vs eps")
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> None:
+    argv = sys.argv[1:] if argv is None else argv
+    preset = argv[0] if argv else "default"
+    config = {
+        "smoke": ExperimentConfig.smoke,
+        "default": ExperimentConfig.default,
+        "large": ExperimentConfig.large,
+    }[preset]()
+    epsilons = DEFAULT_EPSILONS if preset != "smoke" else (0.5, 1.0, 5.0)
+    print(f"Figure 4 reproduction — preset={preset}, eps sweep={epsilons}")
+    series = run(config, epsilons=epsilons, verbose=True)
+    print(format_series(series, epsilons, charts=True))
+
+
+if __name__ == "__main__":
+    main()

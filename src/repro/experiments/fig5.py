@@ -1,0 +1,209 @@
+"""Figure 5: efficiency of the search strategies and modification stages.
+
+Left panel — K-nearest-segment search cost of the five strategies
+(Linear, UG, HGt, HGb, HG+) over growing dataset sizes. The paper
+measures the full modification pipeline; since the pipeline's cost is
+dominated by its kNN searches, we time a fixed batch of searches per
+strategy against the same dataset-wide segment index — the isolation
+makes the strategy comparison exact while keeping pure-Python runtimes
+sane.
+
+Right panel — wall-clock share of local (intra-) vs global (inter-)
+trajectory modification, timed on the real pipeline with the HG+
+strategy (the paper reports global at 90 %+ of total time).
+
+Invoke with::
+
+    python -m repro.experiments.fig5 [smoke|default|large]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import replace
+
+from repro.core.pipeline import PureG, PureL
+from repro.core.signature import SignatureExtractor
+from repro.datagen.generator import generate_fleet
+from repro.experiments.config import ExperimentConfig
+from repro.geo.geometry import BBox
+from repro.index.hierarchical import HierarchicalGridIndex
+from repro.index.linear import LinearSegmentIndex
+from repro.index.rtree import RTreeIndex
+from repro.index.uniform import UniformGridIndex
+
+#: Strategy labels of the left panel, in the paper's order, plus an
+#: STR R-tree bonus row (not in the paper; see DESIGN.md §4b).
+SEARCH_METHODS = ("Linear", "UG", "HGt", "HGb", "HG+", "RT")
+
+DEFAULT_SIZES = (25, 50, 100, 200)
+SMOKE_SIZES = (10, 20)
+
+
+def _build_indexes(dataset, bbox: BBox):
+    # Paper setting: 512x512 for the uniform grid and for the finest
+    # level of the hierarchical grid (levels=10 -> 2^9 = 512 per side).
+    # UG uses the classic single-cell (midpoint) assignment the paper
+    # compares against; see UniformGridIndex for the overlap variant.
+    linear = LinearSegmentIndex()
+    uniform = UniformGridIndex(bbox, granularity=512, assignment="midpoint")
+    hierarchical = HierarchicalGridIndex(bbox, levels=10)
+    rtree = RTreeIndex()
+    for trajectory in dataset:
+        for _, a, b in trajectory.segments():
+            linear.insert(a.coord, b.coord, owner=trajectory.object_id)
+            uniform.insert(a.coord, b.coord, owner=trajectory.object_id)
+            hierarchical.insert(a.coord, b.coord, owner=trajectory.object_id)
+            rtree.insert(a.coord, b.coord, owner=trajectory.object_id)
+    return linear, uniform, hierarchical, rtree
+
+
+def _query_points(dataset, signature_size: int, limit: int = 200):
+    """kNN query workload: the dataset's signature locations (what the
+    modification step actually searches for)."""
+    index = SignatureExtractor(m=signature_size).extract(dataset)
+    return sorted(index.candidate_set)[:limit]
+
+
+def search_timings(
+    config: ExperimentConfig,
+    sizes: tuple[int, ...],
+    k: int = 8,
+) -> tuple[dict[str, list[float]], dict[str, list[int]]]:
+    """Left panel: per strategy per dataset size, (seconds, work).
+
+    Work = exact point-segment distance computations performed, the
+    implementation-independent measure of each strategy's pruning
+    power (wall-clock additionally reflects pure-Python constants).
+    """
+    timings: dict[str, list[float]] = {name: [] for name in SEARCH_METHODS}
+    work: dict[str, list[int]] = {name: [] for name in SEARCH_METHODS}
+    for size in sizes:
+        fleet = generate_fleet(replace(config.fleet, n_objects=size))
+        dataset = fleet.dataset
+        bbox = dataset.bbox().expand(10.0)
+        linear, uniform, hierarchical, rtree = _build_indexes(dataset, bbox)
+        queries = _query_points(dataset, config.signature_size)
+
+        def time_batch(search) -> float:
+            started = time.perf_counter()
+            for q in queries:
+                search(q)
+            return time.perf_counter() - started
+
+        timings["Linear"].append(time_batch(lambda q: linear.knn(q, k)))
+        work["Linear"].append(len(linear) * len(queries))
+        timings["UG"].append(time_batch(lambda q: uniform.knn(q, k)))
+        work["UG"].append(-1)  # UG does not track per-query counters
+        timings["RT"].append(time_batch(lambda q: rtree.knn(q, k)))
+        work["RT"].append(-1)
+
+        for label, strategy in (
+            ("HGt", "top_down"),
+            ("HGb", "bottom_up"),
+            ("HG+", "bottom_up_down"),
+        ):
+            checked = 0
+
+            def probe(q, _strategy=strategy):
+                hierarchical.knn(q, k, strategy=_strategy)
+
+            started = time.perf_counter()
+            for q in queries:
+                probe(q)
+                checked += hierarchical.last_stats.segments_checked
+            timings[label].append(time.perf_counter() - started)
+            work[label].append(checked)
+    return timings, work
+
+
+def modification_timings(
+    config: ExperimentConfig, sizes: tuple[int, ...]
+) -> dict[str, list[float]]:
+    """Right panel: local vs global modification wall-clock (HG+)."""
+    timings: dict[str, list[float]] = {"Local": [], "Global": []}
+    for size in sizes:
+        fleet = generate_fleet(replace(config.fleet, n_objects=size))
+        started = time.perf_counter()
+        PureG(
+            epsilon=config.epsilon / 2,
+            signature_size=config.signature_size,
+            seed=config.seed,
+        ).anonymize(fleet.dataset)
+        timings["Global"].append(time.perf_counter() - started)
+        started = time.perf_counter()
+        PureL(
+            epsilon=config.epsilon / 2,
+            signature_size=config.signature_size,
+            seed=config.seed,
+        ).anonymize(fleet.dataset)
+        timings["Local"].append(time.perf_counter() - started)
+    return timings
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+) -> dict[str, dict[str, list]]:
+    config = config or ExperimentConfig.default()
+    search, work = search_timings(config, sizes)
+    return {
+        "search": search,
+        "search_work": work,
+        "modification": modification_timings(config, sizes),
+    }
+
+
+def format_timings(
+    results: dict[str, dict[str, list]], sizes: tuple[int, ...]
+) -> str:
+    lines = ["[kNN search time (s) vs dataset size]"]
+    lines.append(f"{'method':<8s}" + "".join(f"{s:>10d}" for s in sizes))
+    for name, values in results["search"].items():
+        lines.append(f"{name:<8s}" + "".join(f"{v:10.4f}" for v in values))
+    lines.append("")
+    lines.append("[distance computations (pruning work) vs dataset size]")
+    lines.append(f"{'method':<8s}" + "".join(f"{s:>10d}" for s in sizes))
+    for name, values in results.get("search_work", {}).items():
+        cells = "".join(
+            "       n/a" if v < 0 else f"{v:10d}" for v in values
+        )
+        lines.append(f"{name:<8s}" + cells)
+    lines.append("")
+    lines.append("[modification time (s) vs dataset size, HG+]")
+    lines.append(f"{'stage':<8s}" + "".join(f"{s:>10d}" for s in sizes))
+    for name, values in results["modification"].items():
+        lines.append(f"{name:<8s}" + "".join(f"{v:10.4f}" for v in values))
+    total = [
+        g + l
+        for g, l in zip(
+            results["modification"]["Global"], results["modification"]["Local"]
+        )
+    ]
+    share = [
+        g / t if t > 0 else 0.0
+        for g, t in zip(results["modification"]["Global"], total)
+    ]
+    lines.append(
+        f"{'G-share':<8s}" + "".join(f"{v:10.2%}" for v in share)
+    )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> None:
+    argv = sys.argv[1:] if argv is None else argv
+    preset = argv[0] if argv else "default"
+    config = {
+        "smoke": ExperimentConfig.smoke,
+        "default": ExperimentConfig.default,
+        "large": ExperimentConfig.large,
+    }[preset]()
+    sizes = SMOKE_SIZES if preset == "smoke" else DEFAULT_SIZES
+    print(f"Figure 5 reproduction — preset={preset}, sizes={sizes}")
+    results = run(config, sizes=sizes)
+    print(format_timings(results, sizes))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Registry of every method Table II compares.
+
+``build_methods`` returns an ordered mapping from the paper's method
+label to a freshly configured anonymizer. ``SYNTHETIC_METHODS`` marks
+the generative models whose outputs carry no record-level truthfulness
+(the paper skips temporal-linkage and recovery metrics for them).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.baselines.adatrace import AdaTrace
+from repro.baselines.dpt import DPT
+from repro.baselines.glove import Glove
+from repro.baselines.klt import KLT
+from repro.baselines.signature_closure import (
+    RadiusSignatureClosure,
+    SignatureClosure,
+)
+from repro.baselines.w4m import W4M
+from repro.core.pipeline import GL, PureG, PureL
+from repro.experiments.config import ExperimentConfig
+from repro.trajectory.model import TrajectoryDataset
+
+Anonymizer = Callable[[TrajectoryDataset], TrajectoryDataset]
+
+#: Methods whose output is synthetic (no record-level pairing).
+SYNTHETIC_METHODS = frozenset({"DPT", "AdaTrace"})
+
+
+def build_methods(config: ExperimentConfig) -> dict[str, Anonymizer]:
+    """All Table II methods in the paper's column order."""
+    m = config.signature_size
+    methods: dict[str, Anonymizer] = {}
+
+    methods["SC"] = lambda ds: SignatureClosure(signature_size=m).anonymize(ds)
+    for radius in config.rsc_radii:
+        label = f"RSC-{radius / 1000:g}"
+        methods[label] = (
+            lambda ds, r=radius: RadiusSignatureClosure(
+                signature_size=m, radius=r
+            ).anonymize(ds)
+        )
+
+    methods["W4M"] = lambda ds: W4M(k=config.k_anonymity).anonymize(ds)
+    methods["GLOVE"] = lambda ds: Glove(k=config.k_anonymity).anonymize(ds)
+    methods["KLT"] = lambda ds: KLT(
+        k=config.k_anonymity,
+        l_diversity=config.l_diversity,
+        t_closeness=config.t_closeness,
+    ).anonymize(ds)
+
+    methods["DPT"] = lambda ds: DPT(
+        epsilon=config.epsilon, seed=config.seed
+    ).anonymize(ds)
+    methods["AdaTrace"] = lambda ds: AdaTrace(
+        epsilon=config.epsilon, seed=config.seed
+    ).anonymize(ds)
+
+    methods["PureG"] = lambda ds: PureG(
+        epsilon=config.epsilon / 2.0, signature_size=m, seed=config.seed
+    ).anonymize(ds)
+    methods["PureL"] = lambda ds: PureL(
+        epsilon=config.epsilon / 2.0, signature_size=m, seed=config.seed
+    ).anonymize(ds)
+    methods["GL"] = lambda ds: GL(
+        epsilon=config.epsilon, signature_size=m, seed=config.seed
+    ).anonymize(ds)
+    return methods
+
+
+def build_our_models(config: ExperimentConfig) -> dict[str, Anonymizer]:
+    """Just the frequency-based models (for the ε sweep of Figure 4)."""
+    m = config.signature_size
+    return {
+        "PureG": lambda ds: PureG(
+            epsilon=config.epsilon, signature_size=m, seed=config.seed
+        ).anonymize(ds),
+        "PureL": lambda ds: PureL(
+            epsilon=config.epsilon, signature_size=m, seed=config.seed
+        ).anonymize(ds),
+        "GL": lambda ds: GL(
+            epsilon=config.epsilon, signature_size=m, seed=config.seed
+        ).anonymize(ds),
+    }

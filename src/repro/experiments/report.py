@@ -1,0 +1,113 @@
+"""Generate a markdown reproduction report (the data side of EXPERIMENTS.md).
+
+Runs Table II, Figure 4, and Figure 5 at the chosen preset and writes
+their measured values as markdown tables, ready to diff against the
+paper. Invoke with::
+
+    python -m repro.experiments.report [smoke|default|large] [output.md]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.experiments import fig4, fig5, table2
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.evaluate import METRIC_COLUMNS
+
+
+def table2_markdown(results: dict[str, dict[str, float | None]]) -> str:
+    methods = list(results)
+    lines = ["| Metric | " + " | ".join(methods) + " |"]
+    lines.append("|" + "---|" * (len(methods) + 1))
+    for metric in METRIC_COLUMNS:
+        cells = []
+        for method in methods:
+            value = results[method].get(metric)
+            cells.append("-" if value is None else f"{value:.3f}")
+        lines.append(f"| {metric} | " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def fig4_markdown(
+    series: dict[str, dict[str, list[float | None]]],
+    epsilons: tuple[float, ...],
+) -> str:
+    blocks = []
+    for panel, models in series.items():
+        lines = [f"**{panel} vs ε**", ""]
+        lines.append("| model | " + " | ".join(f"ε={e:g}" for e in epsilons) + " |")
+        lines.append("|" + "---|" * (len(epsilons) + 1))
+        for model, values in models.items():
+            cells = ["-" if v is None else f"{v:.3f}" for v in values]
+            lines.append(f"| {model} | " + " | ".join(cells) + " |")
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)
+
+
+def fig5_markdown(results: dict[str, dict[str, list]], sizes: tuple[int, ...]) -> str:
+    lines = ["**kNN search time (s) vs |D|**", ""]
+    lines.append("| method | " + " | ".join(str(s) for s in sizes) + " |")
+    lines.append("|" + "---|" * (len(sizes) + 1))
+    for name, values in results["search"].items():
+        lines.append(
+            f"| {name} | " + " | ".join(f"{v:.4f}" for v in values) + " |"
+        )
+    lines.append("")
+    lines.append("**local vs global modification time (s)**")
+    lines.append("")
+    lines.append("| stage | " + " | ".join(str(s) for s in sizes) + " |")
+    lines.append("|" + "---|" * (len(sizes) + 1))
+    for name, values in results["modification"].items():
+        lines.append(
+            f"| {name} | " + " | ".join(f"{v:.4f}" for v in values) + " |"
+        )
+    return "\n".join(lines)
+
+
+def generate(preset: str = "default") -> str:
+    config = {
+        "smoke": ExperimentConfig.smoke,
+        "default": ExperimentConfig.default,
+        "large": ExperimentConfig.large,
+    }[preset]()
+    epsilons = (0.5, 1.0, 5.0) if preset == "smoke" else fig4.DEFAULT_EPSILONS
+    sizes = fig5.SMOKE_SIZES if preset == "smoke" else fig5.DEFAULT_SIZES
+
+    parts = [
+        f"# Reproduction report (preset: {preset})",
+        "",
+        f"|D| = {config.fleet.n_objects}, points/trajectory = "
+        f"{config.fleet.points_per_trajectory}, m = {config.signature_size}, "
+        f"ε = {config.epsilon}",
+        "",
+        "## Table II (measured)",
+        "",
+        table2_markdown(table2.run(config)),
+        "",
+        "## Figure 4 (measured)",
+        "",
+        fig4_markdown(fig4.run(config, epsilons=epsilons), epsilons),
+        "",
+        "## Figure 5 (measured)",
+        "",
+        fig5_markdown(fig5.run(config, sizes=sizes), sizes),
+        "",
+    ]
+    return "\n".join(parts)
+
+
+def main(argv: list[str] | None = None) -> None:
+    argv = sys.argv[1:] if argv is None else argv
+    preset = argv[0] if argv else "default"
+    report = generate(preset)
+    if len(argv) > 1:
+        Path(argv[1]).write_text(report)
+        print(f"wrote report to {argv[1]}")
+    else:
+        print(report)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Table II: effectiveness of all methods (privacy / utility / recovery).
+
+``run`` evaluates every method of the registry on one generated fleet
+and returns ``{method: {metric: value-or-None}}``; ``main`` prints the
+table in the paper's layout. Invoke with::
+
+    python -m repro.experiments.table2 [smoke|default|large]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.datagen.generator import generate_fleet
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.evaluate import METRIC_COLUMNS, evaluate_method
+from repro.experiments.methods import SYNTHETIC_METHODS, build_methods
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    methods: list[str] | None = None,
+    verbose: bool = False,
+) -> dict[str, dict[str, float | None]]:
+    """Evaluate Table II. ``methods`` restricts to a subset of labels."""
+    config = config or ExperimentConfig.default()
+    fleet = generate_fleet(config.fleet)
+    registry = build_methods(config)
+    if methods is not None:
+        unknown = set(methods) - set(registry)
+        if unknown:
+            raise ValueError(f"unknown methods: {sorted(unknown)}")
+        registry = {name: registry[name] for name in methods}
+
+    results: dict[str, dict[str, float | None]] = {}
+    for name, anonymize in registry.items():
+        started = time.perf_counter()
+        anonymized = anonymize(fleet.dataset)
+        evaluation = evaluate_method(
+            fleet.dataset,
+            anonymized,
+            fleet,
+            config,
+            synthetic=name in SYNTHETIC_METHODS,
+        )
+        results[name] = evaluation.values
+        if verbose:
+            elapsed = time.perf_counter() - started
+            print(f"  {name:<10s} done in {elapsed:6.1f}s", file=sys.stderr)
+    return results
+
+
+def format_table(results: dict[str, dict[str, float | None]]) -> str:
+    """Render results in the paper's rows-are-metrics layout."""
+    methods = list(results)
+    header = f"{'Metric':<10s}" + "".join(f"{m:>10s}" for m in methods)
+    lines = [header, "-" * len(header)]
+    for metric in METRIC_COLUMNS:
+        cells = []
+        for method in methods:
+            value = results[method].get(metric)
+            cells.append("       -  " if value is None else f"{value:10.3f}")
+        lines.append(f"{metric:<10s}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> None:
+    argv = sys.argv[1:] if argv is None else argv
+    preset = argv[0] if argv else "default"
+    config = {
+        "smoke": ExperimentConfig.smoke,
+        "default": ExperimentConfig.default,
+        "large": ExperimentConfig.large,
+    }[preset]()
+    print(f"Table II reproduction — preset={preset}, "
+          f"|D|={config.fleet.n_objects}, eps={config.epsilon}, "
+          f"m={config.signature_size}")
+    results = run(config, verbose=True)
+    print(format_table(results))
+
+
+if __name__ == "__main__":
+    main()

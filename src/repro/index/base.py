@@ -1,0 +1,87 @@
+"""Shared segment-index protocol and bookkeeping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Protocol, runtime_checkable
+
+from repro.geo.geometry import Coord, point_segment_distance
+
+
+@dataclass(frozen=True, slots=True)
+class IndexedSegment:
+    """A segment registered in an index.
+
+    ``owner`` carries the id of the trajectory the segment belongs to,
+    which the inter-trajectory modifier uses to aggregate segment-level
+    results to trajectory-level candidates.
+    """
+
+    sid: int
+    a: Coord
+    b: Coord
+    owner: str | None = None
+
+    def distance_to(self, q: Coord) -> float:
+        return point_segment_distance(q, self.a, self.b)
+
+
+@runtime_checkable
+class SegmentIndex(Protocol):
+    """The interface every spatial index in this package implements."""
+
+    def insert(self, a: Coord, b: Coord, owner: str | None = None) -> int:
+        """Register a segment; returns its id."""
+        ...
+
+    def remove(self, sid: int) -> None:
+        """Unregister a segment by id."""
+        ...
+
+    def segment(self, sid: int) -> IndexedSegment:
+        """Look up a registered segment."""
+        ...
+
+    def knn(self, q: Coord, k: int) -> list[tuple[int, float]]:
+        """The ``k`` nearest segments to ``q`` as (sid, distance) pairs."""
+        ...
+
+    def __len__(self) -> int:
+        ...
+
+
+class SegmentRegistry:
+    """Id allocation and storage shared by the concrete indexes."""
+
+    def __init__(self) -> None:
+        self._segments: dict[int, IndexedSegment] = {}
+        self._next_id = 0
+
+    def allocate(self, a: Coord, b: Coord, owner: str | None) -> IndexedSegment:
+        segment = IndexedSegment(self._next_id, a, b, owner)
+        self._segments[segment.sid] = segment
+        self._next_id += 1
+        return segment
+
+    def release(self, sid: int) -> IndexedSegment:
+        try:
+            return self._segments.pop(sid)
+        except KeyError:
+            raise KeyError(f"segment {sid} is not in the index") from None
+
+    def get(self, sid: int) -> IndexedSegment:
+        try:
+            return self._segments[sid]
+        except KeyError:
+            raise KeyError(f"segment {sid} is not in the index") from None
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def __iter__(self) -> Iterator[IndexedSegment]:
+        return iter(self._segments.values())
+
+    def bulk_load(
+        self, segments: Iterable[tuple[Coord, Coord, str | None]]
+    ) -> list[IndexedSegment]:
+        return [self.allocate(a, b, owner) for a, b, owner in segments]

@@ -1,0 +1,379 @@
+"""The paper's hierarchical grid index (Section IV-C).
+
+A stack of nested uniform grids with power-of-two granularities: level
+``L`` has ``2^L`` cells per side, level 0 being the single root cell
+covering the whole area. Each segment lives in its **best-fit** cell
+(Definition 11) — the finest cell that contains both endpoints. Cells
+record parent/children relationships so searches can move both up and
+down the hierarchy.
+
+Three K-nearest-segment search strategies are provided:
+
+* ``top_down`` (HGt) — classic best-first descent from the root;
+* ``bottom_up`` (HGb) — start from the finest non-empty cell containing
+  the query and climb, exploring each newly exposed subtree;
+* ``bottom_up_down`` (HG+) — the paper's Algorithm 3: a stack-driven
+  bottom-up phase until the root is reached (tightening the pruning
+  threshold θ_K early), then a best-first top-down phase over a priority
+  queue with early termination (Theorem 4).
+
+Search statistics (cells visited, segments checked) are recorded per
+call for the efficiency study.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+
+from repro.geo.geometry import BBox, Coord
+from repro.index.base import IndexedSegment, SegmentRegistry
+from repro.index.search import KnnCandidates
+
+#: Cell address: (level, ix, iy). Level 0 is the 1x1 root grid.
+CellKey = tuple[int, int, int]
+
+ROOT: CellKey = (0, 0, 0)
+
+_STRATEGIES = ("top_down", "bottom_up", "bottom_up_down")
+
+
+@dataclass(slots=True)
+class _Cell:
+    """Bookkeeping for one existing cell."""
+
+    segments: set[int] = field(default_factory=set)
+    children: set[CellKey] = field(default_factory=set)
+
+    @property
+    def empty(self) -> bool:
+        return not self.segments and not self.children
+
+
+@dataclass(slots=True)
+class SearchStats:
+    """Work counters for one kNN call (used by the efficiency study)."""
+
+    cells_visited: int = 0
+    segments_checked: int = 0
+
+
+class HierarchicalGridIndex:
+    """Multi-resolution grid with best-fit segment placement."""
+
+    def __init__(self, bbox: BBox, levels: int = 10) -> None:
+        """``levels`` grids, the finest having ``2**(levels-1)`` cells/side.
+
+        The paper's finest granularity of 512x512 corresponds to the
+        default ``levels=10``.
+        """
+        if levels < 1:
+            raise ValueError("need at least one level")
+        self.bbox = bbox
+        self.levels = levels
+        self._finest = levels - 1
+        self._side = 2**self._finest  # cells per side at the finest level
+        self._width = max(bbox.width, 1e-9)
+        self._height = max(bbox.height, 1e-9)
+        self._registry = SegmentRegistry()
+        self._cells: dict[CellKey, _Cell] = {}
+        self._cell_of_sid: dict[int, CellKey] = {}
+        self.last_stats = SearchStats()
+
+    # -- cell geometry -----------------------------------------------------------
+
+    def _finest_coords(self, p: Coord) -> tuple[int, int]:
+        """Cell coordinates of ``p`` at the finest level (clamped into range)."""
+        fx = int(math.floor((p[0] - self.bbox.min_x) / self._width * self._side))
+        fy = int(math.floor((p[1] - self.bbox.min_y) / self._height * self._side))
+        fx = min(max(fx, 0), self._side - 1)
+        fy = min(max(fy, 0), self._side - 1)
+        return fx, fy
+
+    def best_fit_cell(self, a: Coord, b: Coord) -> CellKey:
+        """Finest cell containing both endpoints (Definition 11)."""
+        ax, ay = self._finest_coords(a)
+        bx, by = self._finest_coords(b)
+        diverging_bits = max((ax ^ bx).bit_length(), (ay ^ by).bit_length())
+        level = self._finest - diverging_bits
+        return (level, ax >> diverging_bits, ay >> diverging_bits)
+
+    def cell_bbox(self, key: CellKey) -> BBox:
+        level, ix, iy = key
+        cells = 2**level
+        w = self._width / cells
+        h = self._height / cells
+        return BBox(
+            self.bbox.min_x + ix * w,
+            self.bbox.min_y + iy * h,
+            self.bbox.min_x + (ix + 1) * w,
+            self.bbox.min_y + (iy + 1) * h,
+        )
+
+    def min_distance(self, q: Coord, key: CellKey) -> float:
+        """MINdist(q, cell) — Equation (4).
+
+        Inlined (no BBox allocation): this runs once per candidate cell
+        on every search, making it the hottest geometry call in the
+        modification pipeline.
+        """
+        level, ix, iy = key
+        cells = 1 << level
+        w = self._width / cells
+        h = self._height / cells
+        min_x = self.bbox.min_x + ix * w
+        min_y = self.bbox.min_y + iy * h
+        dx = min_x - q[0]
+        if dx < 0.0:
+            dx = q[0] - min_x - w
+            if dx < 0.0:
+                dx = 0.0
+        dy = min_y - q[1]
+        if dy < 0.0:
+            dy = q[1] - min_y - h
+            if dy < 0.0:
+                dy = 0.0
+        return math.hypot(dx, dy)
+
+    @staticmethod
+    def parent_of(key: CellKey) -> CellKey | None:
+        level, ix, iy = key
+        if level == 0:
+            return None
+        return (level - 1, ix >> 1, iy >> 1)
+
+    # -- structure maintenance ------------------------------------------------------
+
+    def insert(self, a: Coord, b: Coord, owner: str | None = None) -> int:
+        segment = self._registry.allocate(a, b, owner)
+        key = self.best_fit_cell(a, b)
+        self._cell_of_sid[segment.sid] = key
+        cell = self._cells.get(key)
+        if cell is None:
+            cell = _Cell()
+            self._cells[key] = cell
+            self._link_ancestors(key)
+        cell.segments.add(segment.sid)
+        return segment.sid
+
+    def _link_ancestors(self, key: CellKey) -> None:
+        """Ensure the chain from ``key`` up to the root exists."""
+        child = key
+        parent = self.parent_of(child)
+        while parent is not None:
+            cell = self._cells.get(parent)
+            if cell is None:
+                cell = _Cell()
+                self._cells[parent] = cell
+                cell.children.add(child)
+                child, parent = parent, self.parent_of(parent)
+            else:
+                cell.children.add(child)
+                break
+
+    def remove(self, sid: int) -> None:
+        self._registry.release(sid)
+        key = self._cell_of_sid.pop(sid)
+        cell = self._cells[key]
+        cell.segments.discard(sid)
+        self._prune_upwards(key)
+
+    def _prune_upwards(self, key: CellKey) -> None:
+        """Delete now-empty cells and unlink them from their parents."""
+        while True:
+            cell = self._cells.get(key)
+            if cell is None or not cell.empty:
+                return
+            del self._cells[key]
+            parent = self.parent_of(key)
+            if parent is None:
+                return
+            self._cells[parent].children.discard(key)
+            key = parent
+
+    def segment(self, sid: int) -> IndexedSegment:
+        return self._registry.get(sid)
+
+    def __len__(self) -> int:
+        return len(self._registry)
+
+    def cell_count(self) -> int:
+        """Number of materialised cells (structure-size diagnostic)."""
+        return len(self._cells)
+
+    # -- search -----------------------------------------------------------------------
+
+    def knn(
+        self, q: Coord, k: int, strategy: str = "bottom_up_down"
+    ) -> list[tuple[int, float]]:
+        """K-nearest segment search with the chosen strategy."""
+        if strategy not in _STRATEGIES:
+            raise ValueError(f"unknown strategy {strategy!r}; choose from {_STRATEGIES}")
+        self.last_stats = SearchStats()
+        if not self._cells:
+            return []
+        candidates = KnnCandidates(k)
+        if strategy == "top_down":
+            self._search_top_down(q, candidates)
+        elif strategy == "bottom_up":
+            self._search_bottom_up(q, candidates)
+        else:
+            self._search_bottom_up_down(q, candidates)
+        return candidates.results()
+
+    def _check_cell(self, q: Coord, key: CellKey, candidates: KnnCandidates) -> None:
+        """Compute exact distances for every segment stored in ``key``."""
+        cell = self._cells.get(key)
+        if cell is None:
+            return
+        self.last_stats.cells_visited += 1
+        for sid in cell.segments:
+            self.last_stats.segments_checked += 1
+            candidates.offer(sid, self._registry.get(sid).distance_to(q))
+
+    def _existing_children(self, key: CellKey) -> set[CellKey]:
+        cell = self._cells.get(key)
+        return cell.children if cell is not None else set()
+
+    def _locate_start(self, q: Coord) -> CellKey:
+        """Deepest existing cell on the ancestor path of ``q`` (Alg. 3 line 1)."""
+        fx, fy = self._finest_coords(q)
+        current = ROOT
+        for level in range(1, self.levels):
+            shift = self._finest - level
+            child = (level, fx >> shift, fy >> shift)
+            if child in self._cells:
+                current = child
+            else:
+                break
+        return current
+
+    # -- strategy: top-down ---------------------------------------------------------
+
+    def _search_top_down(self, q: Coord, candidates: KnnCandidates) -> None:
+        heap: list[tuple[float, CellKey]] = [(0.0, ROOT)]
+        while heap:
+            dist, key = heapq.heappop(heap)
+            if candidates.full and dist > candidates.threshold:
+                break
+            self._check_cell(q, key, candidates)
+            for child in self._existing_children(key):
+                child_dist = self.min_distance(q, child)
+                if not candidates.full or child_dist <= candidates.threshold:
+                    heapq.heappush(heap, (child_dist, child))
+
+    # -- strategy: bottom-up ----------------------------------------------------------
+
+    def _search_bottom_up(self, q: Coord, candidates: KnnCandidates) -> None:
+        """Climb from the query's finest cell, exploring exposed subtrees.
+
+        At each level up, the newly reachable region (the parent minus
+        the already-explored child) is searched best-first before
+        climbing further.
+        """
+        visited: set[CellKey] = set()
+        current: CellKey | None = self._locate_start(q)
+        while current is not None:
+            self._explore_subtree(q, current, candidates, visited)
+            current = self.parent_of(current)
+
+    def _explore_subtree(
+        self,
+        q: Coord,
+        root: CellKey,
+        candidates: KnnCandidates,
+        visited: set[CellKey],
+    ) -> None:
+        if root in visited:
+            heap: list[tuple[float, CellKey]] = [
+                (self.min_distance(q, child), child)
+                for child in self._existing_children(root)
+                if child not in visited
+            ]
+            heapq.heapify(heap)
+        else:
+            heap = [(self.min_distance(q, root), root)]
+        while heap:
+            dist, key = heapq.heappop(heap)
+            if key in visited:
+                continue
+            if candidates.full and dist > candidates.threshold:
+                continue
+            visited.add(key)
+            self._check_cell(q, key, candidates)
+            for child in self._existing_children(key):
+                if child not in visited:
+                    child_dist = self.min_distance(q, child)
+                    if not candidates.full or child_dist <= candidates.threshold:
+                        heapq.heappush(heap, (child_dist, child))
+
+    # -- strategy: bottom-up-down (Algorithm 3) -----------------------------------------
+
+    def _search_bottom_up_down(self, q: Coord, candidates: KnnCandidates) -> None:
+        stack: list[tuple[CellKey, float]] = []
+        queue: list[tuple[float, CellKey]] = []
+        visited: set[CellKey] = set()
+        root_access = False
+
+        start = self._locate_start(q)
+        stack.append((start, 0.0))
+
+        while stack or queue:
+            if not root_access:
+                if not stack:
+                    # The bottom-up phase exhausted without an explicit
+                    # root hit (start == ROOT); switch to the queue.
+                    root_access = True
+                    continue
+                key, dist = stack.pop()
+                if key in visited:
+                    continue
+                if candidates.full and dist > candidates.threshold:
+                    continue
+            else:
+                if not queue:
+                    break
+                dist, key = heapq.heappop(queue)
+                if key in visited:
+                    continue
+                if candidates.full and dist > candidates.threshold:
+                    break  # Theorem 4: nothing closer can remain.
+            visited.add(key)
+            self._check_cell(q, key, candidates)
+
+            parent = self.parent_of(key)
+            if not root_access and parent is not None and parent not in visited:
+                if parent == ROOT:
+                    root_access = True
+                    heapq.heappush(queue, (0.0, parent))
+                else:
+                    stack.append((parent, 0.0))
+            if key == ROOT:
+                root_access = True
+
+            fresh: list[tuple[CellKey, float]] = []
+            for child in self._existing_children(key):
+                if child in visited:
+                    continue
+                child_dist = self.min_distance(q, child)
+                if candidates.full and child_dist > candidates.threshold:
+                    continue  # safe to prune at push time (Theorem 4)
+                fresh.append((child, child_dist))
+            if root_access:
+                for child, child_dist in fresh:
+                    heapq.heappush(queue, (child_dist, child))
+            else:
+                # Push farthest first so the nearest child pops first,
+                # checking "the more promising finer-grained grid cells
+                # earlier" as the paper prescribes.
+                fresh.sort(key=lambda item: item[1], reverse=True)
+                stack.extend(fresh)
+
+            if root_access and stack:
+                # The parent-before-children push order should leave the
+                # stack empty by the time the root is reached; transfer
+                # any leftovers so no candidate subtree is dropped.
+                for leftover, leftover_dist in stack:
+                    heapq.heappush(queue, (leftover_dist, leftover))
+                stack.clear()

@@ -1,0 +1,190 @@
+"""STR-packed R-tree over trajectory segments.
+
+Not part of the paper (which argues grids suit segment data), but the
+natural alternative any systems reviewer asks about, so it ships as a
+fourth backend for the efficiency ablation.
+
+Design: a static Sort-Tile-Recursive (STR) bulk-loaded tree plus an
+overflow buffer for dynamic inserts and a tombstone set for removals;
+the tree is rebuilt when either side grows past a fraction of the tree
+size. kNN is best-first over node MBRs (a segment's MBR min-distance
+lower-bounds its exact distance, so pruning is safe) with the overflow
+buffer scanned linearly.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+
+from repro.geo.geometry import BBox, Coord
+from repro.index.base import IndexedSegment, SegmentRegistry
+from repro.index.search import KnnCandidates
+
+
+@dataclass(slots=True)
+class _Node:
+    """Internal or leaf node; leaves carry segment ids."""
+
+    mbr: BBox
+    children: list["_Node"] = field(default_factory=list)
+    sids: list[int] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+def _mbr_of(boxes: list[BBox]) -> BBox:
+    return BBox(
+        min(b.min_x for b in boxes),
+        min(b.min_y for b in boxes),
+        max(b.max_x for b in boxes),
+        max(b.max_y for b in boxes),
+    )
+
+
+class RTreeIndex:
+    """Segment index backed by an STR-packed R-tree."""
+
+    def __init__(self, leaf_capacity: int = 16, rebuild_fraction: float = 0.25) -> None:
+        if leaf_capacity < 2:
+            raise ValueError("leaf capacity must be at least 2")
+        if not 0.0 < rebuild_fraction <= 1.0:
+            raise ValueError("rebuild fraction must be in (0, 1]")
+        self.leaf_capacity = leaf_capacity
+        self.rebuild_fraction = rebuild_fraction
+        self._registry = SegmentRegistry()
+        self._root: _Node | None = None
+        self._tree_sids: set[int] = set()
+        self._buffer: set[int] = set()
+        self._tombstones: set[int] = set()
+
+    # -- maintenance -----------------------------------------------------------
+
+    def _segment_mbr(self, sid: int) -> BBox:
+        segment = self._registry.get(sid)
+        return BBox(
+            min(segment.a[0], segment.b[0]),
+            min(segment.a[1], segment.b[1]),
+            max(segment.a[0], segment.b[0]),
+            max(segment.a[1], segment.b[1]),
+        )
+
+    def _needs_rebuild(self) -> bool:
+        tree_size = len(self._tree_sids)
+        threshold = max(64, int(tree_size * self.rebuild_fraction))
+        return len(self._buffer) > threshold or len(self._tombstones) > threshold
+
+    def _rebuild(self) -> None:
+        live = (self._tree_sids | self._buffer) - self._tombstones
+        self._buffer.clear()
+        self._tombstones.clear()
+        self._tree_sids = set(live)
+        if not live:
+            self._root = None
+            return
+        entries = [(sid, self._segment_mbr(sid)) for sid in sorted(live)]
+        self._root = self._str_pack(entries)
+
+    def _str_pack(self, entries: list[tuple[int, BBox]]) -> _Node:
+        """Sort-Tile-Recursive leaf packing, then bottom-up node packing."""
+        capacity = self.leaf_capacity
+        n = len(entries)
+        entries = sorted(entries, key=lambda e: e[1].center[0])
+        n_leaves = math.ceil(n / capacity)
+        n_slices = max(1, math.ceil(math.sqrt(n_leaves)))
+        per_slice = math.ceil(n / n_slices)
+        leaves: list[_Node] = []
+        for s in range(0, n, per_slice):
+            vertical = sorted(
+                entries[s : s + per_slice], key=lambda e: e[1].center[1]
+            )
+            for i in range(0, len(vertical), capacity):
+                chunk = vertical[i : i + capacity]
+                leaves.append(
+                    _Node(
+                        mbr=_mbr_of([box for _, box in chunk]),
+                        sids=[sid for sid, _ in chunk],
+                    )
+                )
+        level = leaves
+        while len(level) > 1:
+            parents: list[_Node] = []
+            for i in range(0, len(level), capacity):
+                chunk = level[i : i + capacity]
+                parents.append(
+                    _Node(mbr=_mbr_of([c.mbr for c in chunk]), children=chunk)
+                )
+            level = parents
+        return level[0]
+
+    # -- index protocol -------------------------------------------------------------
+
+    def insert(self, a: Coord, b: Coord, owner: str | None = None) -> int:
+        segment = self._registry.allocate(a, b, owner)
+        self._buffer.add(segment.sid)
+        if self._needs_rebuild():
+            self._rebuild()
+        return segment.sid
+
+    def remove(self, sid: int) -> None:
+        self._registry.release(sid)
+        if sid in self._buffer:
+            self._buffer.discard(sid)
+            return
+        if sid not in self._tree_sids:
+            raise KeyError(f"segment {sid} is not in the index")
+        self._tombstones.add(sid)
+        if self._needs_rebuild():
+            self._rebuild()
+
+    def segment(self, sid: int) -> IndexedSegment:
+        return self._registry.get(sid)
+
+    def __len__(self) -> int:
+        return len(self._registry)
+
+    @property
+    def tree_height(self) -> int:
+        """Height of the packed tree (diagnostic)."""
+        height = 0
+        node = self._root
+        while node is not None:
+            height += 1
+            node = node.children[0] if node.children else None
+        return height
+
+    # -- search ------------------------------------------------------------------------
+
+    def knn(self, q: Coord, k: int) -> list[tuple[int, float]]:
+        if len(self._registry) == 0:
+            return []
+        candidates = KnnCandidates(k)
+        # Overflow buffer: exact scan (small by construction).
+        for sid in self._buffer:
+            candidates.offer(sid, self._registry.get(sid).distance_to(q))
+        if self._root is not None:
+            counter = 0  # heap tie-breaker (BBox is not orderable)
+            heap: list[tuple[float, int, _Node]] = [
+                (self._root.mbr.min_distance(q), counter, self._root)
+            ]
+            while heap:
+                dist, _, node = heapq.heappop(heap)
+                if candidates.full and dist > candidates.threshold:
+                    break
+                if node.is_leaf:
+                    for sid in node.sids:
+                        if sid in self._tombstones:
+                            continue
+                        candidates.offer(
+                            sid, self._registry.get(sid).distance_to(q)
+                        )
+                else:
+                    for child in node.children:
+                        child_dist = child.mbr.min_distance(q)
+                        if not candidates.full or child_dist <= candidates.threshold:
+                            counter += 1
+                            heapq.heappush(heap, (child_dist, counter, child))
+        return candidates.results()

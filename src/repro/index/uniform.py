@@ -1,0 +1,168 @@
+"""Single-level uniform grid index (the paper's UG baseline).
+
+Segments are registered in every grid cell their bounding box overlaps;
+kNN search expands square rings around the query cell and stops once
+the next ring cannot contain anything closer than the current K-th
+candidate.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.geo.geometry import BBox, Coord
+from repro.index.base import IndexedSegment, SegmentRegistry
+from repro.index.search import KnnCandidates
+
+
+class UniformGridIndex:
+    """A ``granularity`` x ``granularity`` uniform grid over ``bbox``.
+
+    Two segment-assignment modes:
+
+    * ``"overlap"`` (default) — a segment is registered in every cell
+      its bounding box overlaps. Queries can prune cells by exact
+      MINdist, which makes this the strongest single-level grid; the
+      modification pipeline uses it.
+    * ``"midpoint"`` — the classic single-cell assignment (the paper's
+      UG baseline): a segment lives in the cell of its midpoint only.
+      A cell then gives no bound on the extent of its segments, so ring
+      expansion must over-scan by the longest indexed segment — the
+      "misleading information" the paper's hierarchical index avoids.
+    """
+
+    def __init__(
+        self,
+        bbox: BBox,
+        granularity: int = 512,
+        assignment: str = "overlap",
+    ) -> None:
+        if granularity < 1:
+            raise ValueError("granularity must be at least 1")
+        if assignment not in ("overlap", "midpoint"):
+            raise ValueError(f"unknown assignment mode {assignment!r}")
+        self.bbox = bbox
+        self.granularity = granularity
+        self.assignment = assignment
+        self._cell_w = max(bbox.width, 1e-9) / granularity
+        self._cell_h = max(bbox.height, 1e-9) / granularity
+        self._registry = SegmentRegistry()
+        self._cells: dict[tuple[int, int], set[int]] = {}
+        self._cells_of_sid: dict[int, list[tuple[int, int]]] = {}
+        #: Longest segment half-extent, for midpoint-mode ring bounds.
+        self._max_half_extent = 0.0
+
+    # -- geometry helpers -----------------------------------------------------
+
+    def _clamp_cell(self, cx: int, cy: int) -> tuple[int, int]:
+        return (
+            min(max(cx, 0), self.granularity - 1),
+            min(max(cy, 0), self.granularity - 1),
+        )
+
+    def cell_of(self, p: Coord) -> tuple[int, int]:
+        cx = int(math.floor((p[0] - self.bbox.min_x) / self._cell_w))
+        cy = int(math.floor((p[1] - self.bbox.min_y) / self._cell_h))
+        return self._clamp_cell(cx, cy)
+
+    def cell_bbox(self, cx: int, cy: int) -> BBox:
+        return BBox(
+            self.bbox.min_x + cx * self._cell_w,
+            self.bbox.min_y + cy * self._cell_h,
+            self.bbox.min_x + (cx + 1) * self._cell_w,
+            self.bbox.min_y + (cy + 1) * self._cell_h,
+        )
+
+    def _cells_overlapping(self, a: Coord, b: Coord) -> list[tuple[int, int]]:
+        cx0, cy0 = self.cell_of((min(a[0], b[0]), min(a[1], b[1])))
+        cx1, cy1 = self.cell_of((max(a[0], b[0]), max(a[1], b[1])))
+        return [
+            (cx, cy)
+            for cx in range(cx0, cx1 + 1)
+            for cy in range(cy0, cy1 + 1)
+        ]
+
+    # -- index protocol ---------------------------------------------------------
+
+    def insert(self, a: Coord, b: Coord, owner: str | None = None) -> int:
+        segment = self._registry.allocate(a, b, owner)
+        if self.assignment == "overlap":
+            cells = self._cells_overlapping(a, b)
+        else:
+            midpoint = ((a[0] + b[0]) / 2.0, (a[1] + b[1]) / 2.0)
+            cells = [self.cell_of(midpoint)]
+            half = math.hypot(b[0] - a[0], b[1] - a[1]) / 2.0
+            if half > self._max_half_extent:
+                self._max_half_extent = half
+        for cell in cells:
+            self._cells.setdefault(cell, set()).add(segment.sid)
+        self._cells_of_sid[segment.sid] = cells
+        return segment.sid
+
+    def remove(self, sid: int) -> None:
+        self._registry.release(sid)
+        for cell in self._cells_of_sid.pop(sid):
+            bucket = self._cells.get(cell)
+            if bucket is not None:
+                bucket.discard(sid)
+                if not bucket:
+                    del self._cells[cell]
+
+    def segment(self, sid: int) -> IndexedSegment:
+        return self._registry.get(sid)
+
+    def __len__(self) -> int:
+        return len(self._registry)
+
+    # -- search --------------------------------------------------------------------
+
+    def knn(self, q: Coord, k: int) -> list[tuple[int, float]]:
+        """Ring-expansion K-nearest segment search.
+
+        In midpoint mode, bounds are slackened by the longest indexed
+        segment's half-extent: a cell's bucket can contain geometry
+        reaching that far outside the cell.
+        """
+        if len(self._registry) == 0:
+            return []
+        slack = self._max_half_extent if self.assignment == "midpoint" else 0.0
+        candidates = KnnCandidates(k)
+        qx, qy = self.cell_of(q)
+        seen: set[int] = set()
+        max_ring = self.granularity  # worst case covers the whole grid
+        for ring in range(max_ring + 1):
+            # Distance lower bound for cells in this ring: once the ring
+            # is entirely farther than θ_K (+ slack), stop.
+            if candidates.full and ring > 0:
+                ring_min = (ring - 1) * min(self._cell_w, self._cell_h)
+                if ring_min > candidates.threshold + slack:
+                    break
+            for cx, cy in self._ring_cells(qx, qy, ring):
+                bucket = self._cells.get((cx, cy))
+                if not bucket:
+                    continue
+                if candidates.full:
+                    cell_bound = self.cell_bbox(cx, cy).min_distance(q) - slack
+                    if cell_bound > candidates.threshold:
+                        continue
+                for sid in bucket:
+                    if sid in seen:
+                        continue
+                    seen.add(sid)
+                    candidates.offer(sid, self._registry.get(sid).distance_to(q))
+        return candidates.results()
+
+    def _ring_cells(self, qx: int, qy: int, ring: int):
+        if ring == 0:
+            yield (qx, qy)
+            return
+        lo_x, hi_x = qx - ring, qx + ring
+        lo_y, hi_y = qy - ring, qy + ring
+        for cx in range(max(lo_x, 0), min(hi_x, self.granularity - 1) + 1):
+            for cy in (lo_y, hi_y):
+                if 0 <= cy < self.granularity:
+                    yield (cx, cy)
+        for cy in range(max(lo_y + 1, 0), min(hi_y - 1, self.granularity - 1) + 1):
+            for cx in (lo_x, hi_x):
+                if 0 <= cx < self.granularity:
+                    yield (cx, cy)

@@ -1,0 +1,28 @@
+"""Evaluation metrics matching the paper's Table II columns.
+
+* :mod:`repro.metrics.privacy` — mutual information (MI); linking
+  accuracies come from :mod:`repro.attacks.linkage`;
+* :mod:`repro.metrics.utility` — INF, DE, TE, FFP;
+* :mod:`repro.metrics.patterns` — the frequent-pattern miner FFP uses;
+* :mod:`repro.metrics.recovery` — route precision/recall/F1, RMF, and
+  point-based accuracy for the recovery attack.
+"""
+
+from repro.metrics.privacy import mutual_information
+from repro.metrics.utility import (
+    diameter_error,
+    frequent_pattern_f1,
+    information_loss,
+    trip_error,
+)
+from repro.metrics.recovery import RecoveryMetrics, score_recovery
+
+__all__ = [
+    "RecoveryMetrics",
+    "diameter_error",
+    "frequent_pattern_f1",
+    "information_loss",
+    "mutual_information",
+    "score_recovery",
+    "trip_error",
+]

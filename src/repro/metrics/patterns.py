@@ -1,0 +1,59 @@
+"""Frequent movement-pattern mining, the substrate of the FFP metric [33].
+
+Patterns are contiguous subsequences of the cell-level movement (length
+2..max_length, consecutive duplicate cells collapsed). ``top_patterns``
+returns the N most frequent ones, which FFP compares between the
+original and anonymized datasets.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+from repro.trajectory.model import Trajectory, TrajectoryDataset
+
+Pattern = tuple
+
+
+def _cell(x: float, y: float, cell_size: float) -> tuple[int, int]:
+    return (int(math.floor(x / cell_size)), int(math.floor(y / cell_size)))
+
+
+def cell_sequence(trajectory: Trajectory, cell_size: float) -> list[tuple[int, int]]:
+    """Movement as a cell sequence with consecutive duplicates collapsed."""
+    sequence: list[tuple[int, int]] = []
+    for p in trajectory:
+        cell = _cell(p.x, p.y, cell_size)
+        if not sequence or sequence[-1] != cell:
+            sequence.append(cell)
+    return sequence
+
+
+def mine_patterns(
+    dataset: TrajectoryDataset,
+    cell_size: float = 500.0,
+    max_length: int = 3,
+) -> Counter:
+    """Support counts (number of trajectories containing each pattern)."""
+    support: Counter = Counter()
+    for trajectory in dataset:
+        sequence = cell_sequence(trajectory, cell_size)
+        seen: set[Pattern] = set()
+        for length in range(2, max_length + 1):
+            for start in range(len(sequence) - length + 1):
+                seen.add(tuple(sequence[start : start + length]))
+        support.update(seen)
+    return support
+
+
+def top_patterns(
+    dataset: TrajectoryDataset,
+    n: int = 100,
+    cell_size: float = 500.0,
+    max_length: int = 3,
+) -> list[Pattern]:
+    """The ``n`` most supported patterns (deterministic tie-breaking)."""
+    support = mine_patterns(dataset, cell_size=cell_size, max_length=max_length)
+    ranked = sorted(support.items(), key=lambda item: (-item[1], item[0]))
+    return [pattern for pattern, _ in ranked[:n]]

@@ -1,0 +1,132 @@
+"""Recovery-attack metrics: route P/R/F1, RMF, point accuracy.
+
+Route-based scores [36] compare the recovered edge set against the
+ground-truth route, weighted by edge length:
+
+* precision — correctly recovered length / total recovered length;
+* recall    — correctly recovered length / ground-truth length;
+* F-score   — their harmonic mean;
+* RMF (route mismatch fraction) — (d+ + d-) / d0 where d+ is
+  erroneously added length, d- is missed length, and d0 the truth
+  length. RMF can exceed 1 when the anonymized data makes the matcher
+  hallucinate long detours — the paper points this out for the
+  frequency-based models.
+
+Point-based accuracy [35] is the fraction of original samples that lie
+within ``tolerance`` metres of the recovered route polyline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attacks.recovery import RecoveryOutput
+from repro.datagen.road_network import RoadNetwork
+from repro.geo.geometry import point_segment_distance
+from repro.trajectory.model import Trajectory, TrajectoryDataset
+
+EdgeKey = tuple[int, int]
+
+
+@dataclass(frozen=True, slots=True)
+class RecoveryMetrics:
+    """Dataset-level recovery scores (means over trajectories)."""
+
+    precision: float
+    recall: float
+    f_score: float
+    rmf: float
+    accuracy: float
+
+
+def _edge_length(network: RoadNetwork, key: EdgeKey) -> float:
+    from repro.geo.geometry import point_distance
+
+    return point_distance(network.node_coord(key[0]), network.node_coord(key[1]))
+
+
+def _route_scores(
+    network: RoadNetwork,
+    truth: list[EdgeKey],
+    recovered: list[EdgeKey],
+) -> tuple[float, float, float, float]:
+    """(precision, recall, f, rmf) for one trajectory."""
+    truth_set = set(truth)
+    recovered_set = set(recovered)
+    length = lambda keys: sum(_edge_length(network, k) for k in keys)
+    d0 = length(truth_set)
+    d_recovered = length(recovered_set)
+    d_correct = length(truth_set & recovered_set)
+    d_added = d_recovered - d_correct
+    d_missed = d0 - d_correct
+    precision = d_correct / d_recovered if d_recovered > 0 else 0.0
+    recall = d_correct / d0 if d0 > 0 else 0.0
+    f_score = (
+        2 * precision * recall / (precision + recall)
+        if precision + recall > 0
+        else 0.0
+    )
+    rmf = (d_added + d_missed) / d0 if d0 > 0 else 0.0
+    return precision, recall, f_score, rmf
+
+
+def _point_accuracy(
+    network: RoadNetwork,
+    original: Trajectory,
+    recovered: list[EdgeKey],
+    tolerance: float,
+) -> float:
+    """Fraction of original samples within tolerance of the recovered route."""
+    if len(original) == 0:
+        return 0.0
+    if not recovered:
+        return 0.0
+    segments = [
+        (network.node_coord(u), network.node_coord(v)) for u, v in recovered
+    ]
+    hits = 0
+    for point in original:
+        for a, b in segments:
+            if point_segment_distance(point.coord, a, b) <= tolerance:
+                hits += 1
+                break
+    return hits / len(original)
+
+
+def score_recovery(
+    network: RoadNetwork,
+    original: TrajectoryDataset,
+    truth_routes: dict[str, list[EdgeKey]],
+    recovery: RecoveryOutput,
+    tolerance: float = 75.0,
+) -> RecoveryMetrics:
+    """Score a recovery attack against ground truth.
+
+    ``recovery`` results are positional with respect to ``original``;
+    ``truth_routes`` maps original object ids to their true edge routes
+    (as produced by the fleet generator).
+    """
+    if len(recovery.results) != len(original):
+        raise ValueError("recovery output does not align with the original dataset")
+    precisions, recalls, fs, rmfs, accuracies = [], [], [], [], []
+    for trajectory, result in zip(original, recovery.results):
+        truth = truth_routes.get(trajectory.object_id, [])
+        p, r, f, rmf = _route_scores(network, truth, result.edge_keys)
+        precisions.append(p)
+        recalls.append(r)
+        fs.append(f)
+        rmfs.append(rmf)
+        accuracies.append(
+            _point_accuracy(network, trajectory, result.edge_keys, tolerance)
+        )
+
+    def mean(values: list[float]) -> float:
+        return sum(values) / len(values) if values else 0.0
+
+    return RecoveryMetrics(
+        precision=mean(precisions),
+        recall=mean(recalls),
+        f_score=mean(fs),
+        rmf=mean(rmfs),
+        accuracy=mean(accuracies),
+    )

@@ -1,0 +1,27 @@
+"""Trajectory data model, I/O, distances, and processing operations."""
+
+from repro.trajectory.model import (
+    LocationKey,
+    Point,
+    Trajectory,
+    TrajectoryDataset,
+)
+from repro.trajectory.ops import (
+    detect_dwells,
+    resample,
+    simplify,
+    sliding_windows,
+    split_trips,
+)
+
+__all__ = [
+    "LocationKey",
+    "Point",
+    "Trajectory",
+    "TrajectoryDataset",
+    "detect_dwells",
+    "resample",
+    "simplify",
+    "sliding_windows",
+    "split_trips",
+]

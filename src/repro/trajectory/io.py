@@ -1,0 +1,134 @@
+"""Reading and writing trajectory datasets in a T-Drive-style format.
+
+The original T-Drive release ships one text file per taxi with lines
+``taxi_id,datetime,longitude,latitude``. We support a planar analogue —
+``object_id,t,x,y`` with ``t`` in seconds and ``x``/``y`` in metres — in
+both single-file and directory-per-object layouts, plus a converter from
+latitude/longitude records using an equirectangular projection (adequate
+at city scale).
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from pathlib import Path
+from typing import Iterable
+
+from repro.trajectory.model import Point, Trajectory, TrajectoryDataset
+
+#: Mean Earth radius in metres, used by the lat/lon projection helpers.
+EARTH_RADIUS_M = 6_371_000.0
+
+
+def write_csv(dataset: TrajectoryDataset, path: str | Path) -> None:
+    """Write the dataset as a single ``object_id,t,x,y`` CSV file."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["object_id", "t", "x", "y"])
+        for trajectory in dataset:
+            for point in trajectory:
+                writer.writerow(
+                    [trajectory.object_id, f"{point.t:.3f}", f"{point.x:.3f}", f"{point.y:.3f}"]
+                )
+
+
+def read_csv(path: str | Path) -> TrajectoryDataset:
+    """Read a dataset previously written with :func:`write_csv`.
+
+    Rows must be grouped by object (as :func:`write_csv` produces) but
+    objects may appear in any order; points are kept in file order and
+    re-sorted by timestamp per object.
+    """
+    path = Path(path)
+    points_by_object: dict[str, list[Point]] = {}
+    order: list[str] = []
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header != ["object_id", "t", "x", "y"]:
+            raise ValueError(f"unexpected header in {path}: {header}")
+        for row in reader:
+            if len(row) != 4:
+                raise ValueError(f"malformed row in {path}: {row}")
+            object_id, t, x, y = row
+            if object_id not in points_by_object:
+                points_by_object[object_id] = []
+                order.append(object_id)
+            points_by_object[object_id].append(Point(float(x), float(y), float(t)))
+    trajectories = []
+    for object_id in order:
+        points = sorted(points_by_object[object_id], key=lambda p: p.t)
+        trajectories.append(Trajectory(object_id, points))
+    return TrajectoryDataset(trajectories)
+
+
+def write_tdrive_directory(dataset: TrajectoryDataset, directory: str | Path) -> None:
+    """Write one ``<object_id>.txt`` file per trajectory, T-Drive style."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for trajectory in dataset:
+        target = directory / f"{trajectory.object_id}.txt"
+        with target.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            for point in trajectory:
+                writer.writerow(
+                    [trajectory.object_id, f"{point.t:.3f}", f"{point.x:.3f}", f"{point.y:.3f}"]
+                )
+
+
+def read_tdrive_directory(directory: str | Path) -> TrajectoryDataset:
+    """Read a directory written by :func:`write_tdrive_directory`."""
+    directory = Path(directory)
+    trajectories = []
+    for target in sorted(directory.glob("*.txt")):
+        points = []
+        object_id = target.stem
+        with target.open(newline="") as handle:
+            for row in csv.reader(handle):
+                if not row:
+                    continue
+                if len(row) != 4:
+                    raise ValueError(f"malformed row in {target}: {row}")
+                _, t, x, y = row
+                points.append(Point(float(x), float(y), float(t)))
+        points.sort(key=lambda p: p.t)
+        trajectories.append(Trajectory(object_id, points))
+    return TrajectoryDataset(trajectories)
+
+
+def project_latlon(
+    records: Iterable[tuple[str, float, float, float]],
+    origin: tuple[float, float] | None = None,
+) -> TrajectoryDataset:
+    """Convert ``(object_id, t, lat, lon)`` records into planar metres.
+
+    Uses an equirectangular projection centred on ``origin`` (defaults
+    to the mean coordinate), which keeps city-scale distance distortion
+    well under 1 %.
+    """
+    rows = list(records)
+    if not rows:
+        return TrajectoryDataset()
+    if origin is None:
+        origin = (
+            sum(r[2] for r in rows) / len(rows),
+            sum(r[3] for r in rows) / len(rows),
+        )
+    lat0, lon0 = origin
+    cos_lat0 = math.cos(math.radians(lat0))
+    points_by_object: dict[str, list[Point]] = {}
+    order: list[str] = []
+    for object_id, t, lat, lon in rows:
+        x = math.radians(lon - lon0) * cos_lat0 * EARTH_RADIUS_M
+        y = math.radians(lat - lat0) * EARTH_RADIUS_M
+        if object_id not in points_by_object:
+            points_by_object[object_id] = []
+            order.append(object_id)
+        points_by_object[object_id].append(Point(x, y, t))
+    trajectories = []
+    for object_id in order:
+        points = sorted(points_by_object[object_id], key=lambda p: p.t)
+        trajectories.append(Trajectory(object_id, points))
+    return TrajectoryDataset(trajectories)

@@ -1,0 +1,5 @@
+"""Dependency-free SVG rendering of networks, trajectories, datasets."""
+
+from repro.viz.svg import SvgCanvas, render_comparison, render_fleet
+
+__all__ = ["SvgCanvas", "render_comparison", "render_fleet"]

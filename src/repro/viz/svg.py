@@ -1,0 +1,193 @@
+"""SVG rendering without external dependencies.
+
+:class:`SvgCanvas` maps planar metre coordinates into an SVG viewport
+(y flipped so north is up) and offers polyline/circle primitives;
+:func:`render_fleet` and :func:`render_comparison` are one-call
+conveniences used by the examples.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.geo.geometry import BBox, Coord
+from repro.datagen.road_network import RoadNetwork
+from repro.trajectory.model import Trajectory, TrajectoryDataset
+
+#: Qualitative palette cycled across trajectories.
+PALETTE = (
+    "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd",
+    "#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+)
+
+
+class SvgCanvas:
+    """An SVG drawing surface over a planar bounding box."""
+
+    def __init__(self, bbox: BBox, width: int = 800, margin: float = 20.0) -> None:
+        if width < 10:
+            raise ValueError("width too small")
+        self.bbox = bbox
+        self.width = width
+        self.margin = margin
+        aspect = bbox.height / bbox.width if bbox.width > 0 else 1.0
+        self.height = max(int(width * aspect), 10)
+        self._elements: list[str] = []
+
+    # -- coordinate mapping ----------------------------------------------------
+
+    def transform(self, p: Coord) -> tuple[float, float]:
+        """Metres -> SVG pixels (y axis flipped)."""
+        sx = (self.width - 2 * self.margin) / max(self.bbox.width, 1e-9)
+        sy = (self.height - 2 * self.margin) / max(self.bbox.height, 1e-9)
+        x = self.margin + (p[0] - self.bbox.min_x) * sx
+        y = self.height - self.margin - (p[1] - self.bbox.min_y) * sy
+        return (x, y)
+
+    # -- primitives ---------------------------------------------------------------
+
+    def polyline(
+        self,
+        points: Sequence[Coord],
+        color: str = "#333333",
+        stroke_width: float = 1.0,
+        opacity: float = 1.0,
+    ) -> None:
+        if len(points) < 2:
+            return
+        coords = " ".join(
+            f"{x:.1f},{y:.1f}" for x, y in (self.transform(p) for p in points)
+        )
+        self._elements.append(
+            f'<polyline points="{coords}" fill="none" stroke="{color}" '
+            f'stroke-width="{stroke_width}" stroke-opacity="{opacity}" '
+            f'stroke-linejoin="round" stroke-linecap="round"/>'
+        )
+
+    def line(
+        self,
+        a: Coord,
+        b: Coord,
+        color: str = "#999999",
+        stroke_width: float = 0.5,
+        opacity: float = 1.0,
+    ) -> None:
+        (x1, y1), (x2, y2) = self.transform(a), self.transform(b)
+        self._elements.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+            f'stroke="{color}" stroke-width="{stroke_width}" '
+            f'stroke-opacity="{opacity}"/>'
+        )
+
+    def circle(
+        self,
+        centre: Coord,
+        radius: float = 3.0,
+        color: str = "#d62728",
+        opacity: float = 1.0,
+    ) -> None:
+        x, y = self.transform(centre)
+        self._elements.append(
+            f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{radius}" '
+            f'fill="{color}" fill-opacity="{opacity}"/>'
+        )
+
+    def text(self, position: Coord, label: str, size: int = 12, color: str = "#000") -> None:
+        x, y = self.transform(position)
+        self._elements.append(
+            f'<text x="{x:.1f}" y="{y:.1f}" font-size="{size}" '
+            f'fill="{color}" font-family="sans-serif">{label}</text>'
+        )
+
+    # -- composites -----------------------------------------------------------------
+
+    def draw_network(
+        self, network: RoadNetwork, color: str = "#cccccc", stroke_width: float = 0.6
+    ) -> None:
+        for edge in network.edges:
+            self.line(
+                network.node_coord(edge.u),
+                network.node_coord(edge.v),
+                color=color,
+                stroke_width=stroke_width,
+            )
+
+    def draw_trajectory(
+        self,
+        trajectory: Trajectory,
+        color: str = PALETTE[0],
+        stroke_width: float = 1.4,
+        opacity: float = 0.85,
+    ) -> None:
+        self.polyline(
+            trajectory.coords(), color=color, stroke_width=stroke_width,
+            opacity=opacity,
+        )
+
+    def draw_dataset(
+        self, dataset: TrajectoryDataset, stroke_width: float = 1.2, opacity: float = 0.6
+    ) -> None:
+        for index, trajectory in enumerate(dataset):
+            self.draw_trajectory(
+                trajectory,
+                color=PALETTE[index % len(PALETTE)],
+                stroke_width=stroke_width,
+                opacity=opacity,
+            )
+
+    def draw_markers(
+        self, coords: Iterable[Coord], radius: float = 3.5, color: str = "#d62728"
+    ) -> None:
+        for coord in coords:
+            self.circle(coord, radius=radius, color=color)
+
+    # -- output ------------------------------------------------------------------------
+
+    def to_string(self) -> str:
+        body = "\n  ".join(self._elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width}" height="{self.height}" '
+            f'viewBox="0 0 {self.width} {self.height}">\n'
+            f'  <rect width="100%" height="100%" fill="white"/>\n'
+            f"  {body}\n</svg>\n"
+        )
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(self.to_string())
+        return path
+
+
+def render_fleet(
+    dataset: TrajectoryDataset,
+    network: RoadNetwork | None = None,
+    markers: Iterable[Coord] = (),
+    width: int = 800,
+) -> str:
+    """One-call rendering of a dataset (plus optional network/markers)."""
+    bbox = network.bbox() if network is not None else dataset.bbox()
+    canvas = SvgCanvas(bbox.expand(bbox.width * 0.02 + 1.0), width=width)
+    if network is not None:
+        canvas.draw_network(network)
+    canvas.draw_dataset(dataset)
+    canvas.draw_markers(markers)
+    return canvas.to_string()
+
+
+def render_comparison(
+    original: Trajectory,
+    anonymized: Trajectory,
+    network: RoadNetwork | None = None,
+    width: int = 800,
+) -> str:
+    """Original (blue) vs anonymized (orange) overlay of one trajectory."""
+    coords = original.coords() + anonymized.coords()
+    bbox = network.bbox() if network is not None else BBox.from_points(coords)
+    canvas = SvgCanvas(bbox.expand(bbox.width * 0.02 + 1.0), width=width)
+    if network is not None:
+        canvas.draw_network(network)
+    canvas.draw_trajectory(original, color=PALETTE[0], stroke_width=2.0)
+    canvas.draw_trajectory(anonymized, color=PALETTE[1], stroke_width=1.4)
+    return canvas.to_string()

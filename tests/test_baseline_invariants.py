@@ -1,0 +1,111 @@
+"""Property-style invariants of the k-anonymity baselines.
+
+Randomized fleets (several seeds) rather than hypothesis strategies:
+generating a coherent fleet per example is the expensive part, so a
+seed-parametrized sweep gives the same coverage at a fraction of the
+cost.
+"""
+
+import pytest
+
+from repro.baselines.glove import Glove
+from repro.baselines.klt import KLT
+from repro.baselines.w4m import W4M
+from repro.datagen.generator import FleetConfig, generate_fleet
+
+SEEDS = (3, 17, 41)
+
+
+def make_fleet(seed):
+    return generate_fleet(
+        FleetConfig(
+            n_objects=11,  # deliberately not divisible by k
+            points_per_trajectory=50,
+            rows=10,
+            cols=10,
+            seed=seed,
+        )
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestW4MInvariants:
+    def test_clusters_partition_dataset(self, seed):
+        fleet = make_fleet(seed)
+        clusters = W4M(k=3)._clusters(fleet.dataset)
+        flat = sorted(i for cluster in clusters for i in cluster)
+        assert flat == list(range(len(fleet.dataset)))
+
+    def test_every_cluster_at_least_k(self, seed):
+        fleet = make_fleet(seed)
+        clusters = W4M(k=3)._clusters(fleet.dataset)
+        assert all(len(cluster) >= 3 for cluster in clusters)
+
+    def test_published_points_subset_of_cylinder(self, seed):
+        """Every published sample lies within δ of some pivot sample."""
+        from repro.geo.geometry import point_distance
+
+        fleet = make_fleet(seed)
+        w4m = W4M(k=3, delta=500.0)
+        result = w4m.anonymize(fleet.dataset)
+        clusters = w4m._clusters(fleet.dataset)
+        for cluster in clusters:
+            pivot_coords = [p.coord for p in fleet.dataset[cluster[0]]]
+            for index in cluster:
+                for p in result[index]:
+                    assert (
+                        min(point_distance(p.coord, c) for c in pivot_coords)
+                        <= 500.0 + 1e-6
+                    )
+
+    def test_ids_and_order_preserved(self, seed):
+        fleet = make_fleet(seed)
+        result = W4M(k=3).anonymize(fleet.dataset)
+        assert [t.object_id for t in result] == [
+            t.object_id for t in fleet.dataset
+        ]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestGloveInvariants:
+    def test_groups_partition_dataset(self, seed):
+        fleet = make_fleet(seed)
+        groups = Glove(k=3)._groups(fleet.dataset)
+        flat = sorted(i for group in groups for i in group)
+        assert flat == list(range(len(fleet.dataset)))
+
+    def test_k_anonymity_of_published_shapes(self, seed):
+        """Each published shape is shared by at least k objects."""
+        from collections import Counter
+
+        fleet = make_fleet(seed)
+        result = Glove(k=3).anonymize(fleet.dataset)
+        shapes = Counter(
+            tuple(p.coord for p in trajectory) for trajectory in result
+        )
+        assert all(count >= 3 for count in shapes.values())
+
+    def test_timestamps_monotone(self, seed):
+        fleet = make_fleet(seed)
+        result = Glove(k=3).anonymize(fleet.dataset)
+        for trajectory in result:
+            times = [p.t for p in trajectory]
+            assert times == sorted(times)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestKLTInvariants:
+    def test_klt_groups_at_least_as_coarse_as_glove(self, seed):
+        """Semantic repair can only merge groups, never split them."""
+        fleet = make_fleet(seed)
+        glove_groups = Glove(k=3)._groups(fleet.dataset)
+        klt_groups = KLT(k=3, l_diversity=3, t_closeness=0.2)._groups(
+            fleet.dataset
+        )
+        assert len(klt_groups) <= len(glove_groups)
+
+    def test_klt_partition_preserved(self, seed):
+        fleet = make_fleet(seed)
+        groups = KLT(k=3, l_diversity=2, t_closeness=0.3)._groups(fleet.dataset)
+        flat = sorted(i for group in groups for i in group)
+        assert flat == list(range(len(fleet.dataset)))

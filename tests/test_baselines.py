@@ -1,0 +1,336 @@
+"""Tests for all seven comparison baselines."""
+
+import pytest
+
+from repro.baselines.adatrace import AdaTrace
+from repro.baselines.dpt import DPT
+from repro.baselines.glove import Glove
+from repro.baselines.klt import KLT, poi_category
+from repro.baselines.signature_closure import (
+    RadiusSignatureClosure,
+    SignatureClosure,
+)
+from repro.baselines.w4m import W4M
+from repro.core.signature import SignatureExtractor
+from repro.datagen.generator import FleetConfig, generate_fleet
+from repro.geo.geometry import point_distance
+from repro.trajectory.distance import _interpolate_at
+from repro.trajectory.model import Point, Trajectory, TrajectoryDataset
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return generate_fleet(
+        FleetConfig(n_objects=12, points_per_trajectory=60, rows=10, cols=10, seed=21)
+    )
+
+
+def traj(object_id, coords, t0=0.0):
+    return Trajectory(
+        object_id,
+        [Point(float(x), float(y), t0 + 60.0 * i) for i, (x, y) in enumerate(coords)],
+    )
+
+
+class TestSignatureClosure:
+    def test_removes_signature_locations(self, fleet):
+        m = 3
+        sc = SignatureClosure(signature_size=m)
+        index = SignatureExtractor(m=m).extract(fleet.dataset)
+        result = sc.anonymize(fleet.dataset)
+        for trajectory in result:
+            banned = set(index.signature_locations(trajectory.object_id))
+            assert not banned & trajectory.distinct_locations()
+
+    def test_preserves_non_signature_points(self, fleet):
+        sc = SignatureClosure(signature_size=3)
+        index = SignatureExtractor(m=3).extract(fleet.dataset)
+        result = sc.anonymize(fleet.dataset)
+        for original in fleet.dataset:
+            banned = set(index.signature_locations(original.object_id))
+            kept_expected = [p.coord for p in original if p.loc not in banned]
+            kept_actual = [p.coord for p in result.by_id(original.object_id)]
+            assert kept_actual == kept_expected
+
+    def test_preserves_object_ids(self, fleet):
+        result = SignatureClosure(signature_size=2).anonymize(fleet.dataset)
+        assert [t.object_id for t in result] == [t.object_id for t in fleet.dataset]
+
+
+class TestRadiusSignatureClosure:
+    def test_rejects_negative_radius(self):
+        with pytest.raises(ValueError):
+            RadiusSignatureClosure(radius=-1.0)
+
+    def test_zero_radius_equals_sc_or_less(self, fleet):
+        rsc = RadiusSignatureClosure(signature_size=3, radius=0.0)
+        sc = SignatureClosure(signature_size=3)
+        r_rsc = rsc.anonymize(fleet.dataset)
+        r_sc = sc.anonymize(fleet.dataset)
+        for a, b in zip(r_rsc, r_sc):
+            assert len(a) == len(b)
+
+    def test_larger_radius_removes_more(self, fleet):
+        small = RadiusSignatureClosure(signature_size=3, radius=100.0)
+        large = RadiusSignatureClosure(signature_size=3, radius=3000.0)
+        kept_small = small.anonymize(fleet.dataset).total_points()
+        kept_large = large.anonymize(fleet.dataset).total_points()
+        assert kept_large < kept_small
+
+    def test_no_point_within_radius_of_signature(self, fleet):
+        radius = 500.0
+        rsc = RadiusSignatureClosure(signature_size=3, radius=radius)
+        index = SignatureExtractor(m=3).extract(fleet.dataset)
+        result = rsc.anonymize(fleet.dataset)
+        for trajectory in result:
+            centres = [
+                e.loc for e in index.signatures[trajectory.object_id]
+            ]
+            for p in trajectory:
+                for centre in centres:
+                    assert point_distance(p.coord, centre) > radius
+
+
+class TestW4M:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            W4M(k=1)
+        with pytest.raises(ValueError):
+            W4M(delta=-5.0)
+
+    def test_cluster_sizes_at_least_k(self, fleet):
+        w4m = W4M(k=4, delta=400.0)
+        clusters = w4m._clusters(fleet.dataset)
+        assert all(len(c) >= 4 for c in clusters)
+        covered = sorted(i for c in clusters for i in c)
+        assert covered == list(range(len(fleet.dataset)))
+
+    def test_members_within_delta_of_pivot(self, fleet):
+        """(k, δ)-anonymity: every published sample co-locates with the
+        cluster pivot within δ."""
+        delta = 400.0
+        w4m = W4M(k=4, delta=delta)
+        result = w4m.anonymize(fleet.dataset)
+        clusters = w4m._clusters(fleet.dataset)
+        for members in clusters:
+            pivot_original = fleet.dataset[members[0]]
+            pivot_coords = [p.coord for p in pivot_original]
+            for index in members:
+                for p in result[index]:
+                    nearest = min(
+                        point_distance(p.coord, c) for c in pivot_coords
+                    )
+                    assert nearest <= delta + 1e-6
+
+    def test_preserves_ids_and_suppresses_unmatchable(self, fleet):
+        result = W4M(k=4, delta=400.0).anonymize(fleet.dataset)
+        for original, published in zip(fleet.dataset, result):
+            assert original.object_id == published.object_id
+            assert len(published) <= len(original)
+        # W4M suppresses rather than publishing everything verbatim.
+        assert result.total_points() < fleet.dataset.total_points()
+
+    def test_kept_points_mostly_unchanged(self, fleet):
+        """Points inside the cylinder are published verbatim — the
+        residual that keeps W4M linkable in the paper."""
+        result = W4M(k=4, delta=400.0).anonymize(fleet.dataset)
+        unchanged = 0
+        kept = 0
+        for original, published in zip(fleet.dataset, result):
+            original_coords = {p.coord for p in original}
+            for p in published:
+                kept += 1
+                if p.coord in original_coords:
+                    unchanged += 1
+        assert kept > 0
+        assert unchanged / kept > 0.5
+
+    def test_empty_dataset(self):
+        assert len(W4M(k=2).anonymize(TrajectoryDataset())) == 0
+
+    def test_small_dataset_single_cluster(self):
+        ds = TrajectoryDataset([traj("a", [(0, 0), (10, 0)]), traj("b", [(5, 5), (15, 5)])])
+        result = W4M(k=5, delta=100.0).anonymize(ds)
+        assert len(result) == 2
+
+
+class TestGlove:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            Glove(k=1)
+        with pytest.raises(ValueError):
+            Glove(cell_size=0)
+
+    def test_groups_reach_k(self, fleet):
+        glove = Glove(k=4)
+        groups = glove._groups(fleet.dataset)
+        assert all(len(g) >= 4 or len(groups) == 1 for g in groups)
+
+    def test_group_members_publish_identical_geometry(self, fleet):
+        glove = Glove(k=4, cell_size=800.0)
+        result = glove.anonymize(fleet.dataset)
+        groups = glove._groups(fleet.dataset)
+        for members in groups:
+            shapes = {
+                tuple(p.coord for p in result[i]) for i in members
+            }
+            assert len(shapes) == 1  # k-anonymous: identical published shape
+
+    def test_points_snapped_to_cell_centres(self, fleet):
+        cell = 800.0
+        result = Glove(k=4, cell_size=cell).anonymize(fleet.dataset)
+        for trajectory in result:
+            for p in trajectory:
+                assert (p.x / cell) % 1 == pytest.approx(0.5)
+                assert (p.y / cell) % 1 == pytest.approx(0.5)
+
+    def test_empty_dataset(self):
+        assert len(Glove(k=2).anonymize(TrajectoryDataset())) == 0
+
+
+class TestKLT:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            KLT(l_diversity=0)
+        with pytest.raises(ValueError):
+            KLT(t_closeness=1.5)
+
+    def test_poi_category_deterministic_and_bounded(self):
+        c1 = poi_category((100.0, 200.0), 8)
+        c2 = poi_category((100.0, 200.0), 8)
+        assert c1 == c2
+        assert 0 <= c1 < 8
+
+    def test_groups_satisfy_l_diversity(self, fleet):
+        klt = KLT(k=3, l_diversity=2, t_closeness=0.5)
+        groups = klt._groups(fleet.dataset)
+        for group in groups:
+            histogram = klt._category_histogram(fleet.dataset, group)
+            assert len(histogram) >= 2 or len(groups) == 1
+
+    def test_anonymize_runs(self, fleet):
+        result = KLT(k=3, l_diversity=2, t_closeness=0.3).anonymize(fleet.dataset)
+        assert len(result) == len(fleet.dataset)
+
+
+class TestDPT:
+    def test_rejects_bad_grid(self):
+        with pytest.raises(ValueError):
+            DPT(grid=1)
+
+    def test_generates_synthetic_dataset(self, fleet):
+        result = DPT(epsilon=1.0, grid=12, seed=0).anonymize(fleet.dataset)
+        assert len(result) == len(fleet.dataset)
+        # Synthetic: ids are fresh, not the original object ids.
+        assert all(t.object_id.startswith("dpt") for t in result)
+
+    def test_no_record_level_truthfulness(self, fleet):
+        """DPT output should share almost no exact points with the input."""
+        result = DPT(epsilon=1.0, grid=12, seed=1).anonymize(fleet.dataset)
+        original_locs = set()
+        for t in fleet.dataset:
+            original_locs.update(t.distinct_locations())
+        synthetic_locs = set()
+        for t in result:
+            synthetic_locs.update(t.distinct_locations())
+        overlap = len(original_locs & synthetic_locs) / max(len(synthetic_locs), 1)
+        assert overlap < 0.2
+
+    def test_deterministic_with_seed(self, fleet):
+        a = DPT(epsilon=1.0, grid=12, seed=5).anonymize(fleet.dataset)
+        b = DPT(epsilon=1.0, grid=12, seed=5).anonymize(fleet.dataset)
+        for ta, tb in zip(a, b):
+            assert [p.coord for p in ta] == [p.coord for p in tb]
+
+    def test_points_at_cell_centres(self, fleet):
+        result = DPT(epsilon=1.0, grid=12, seed=2).anonymize(fleet.dataset)
+        bbox = fleet.dataset.bbox()
+        w = bbox.width / 12
+        sample = result[0][0]
+        offset = (sample.x - bbox.min_x) / w % 1
+        assert offset == pytest.approx(0.5, abs=1e-6)
+
+    def test_empty_dataset(self):
+        assert len(DPT(seed=0).anonymize(TrajectoryDataset())) == 0
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(ValueError):
+            DPT(order=3)
+
+    def test_order2_runs_and_differs_from_order1(self, fleet):
+        order1 = DPT(epsilon=2.0, grid=12, order=1, seed=6).anonymize(fleet.dataset)
+        order2 = DPT(epsilon=2.0, grid=12, order=2, seed=6).anonymize(fleet.dataset)
+        assert len(order2) == len(fleet.dataset)
+        assert any(
+            [p.coord for p in a] != [p.coord for p in b]
+            for a, b in zip(order1, order2)
+        )
+
+    def test_order2_respects_trigram_context(self):
+        """Construct data where the successor depends on the previous
+        TWO cells: order-2 synthesis must respect it, order-1 cannot.
+
+        Pattern X cycles A->B->C, pattern Y cycles C->B->A. From B
+        alone, both A and C are equally likely (order-1 confusion);
+        given (A, B) the successor is always C.
+        """
+        bbox_step = 5000.0  # three well-separated grid cells on a line
+        a, b, c = (0.0, 0.0), (bbox_step, 0.0), (2 * bbox_step, 0.0)
+
+        def cycle(points, reps):
+            seq = (points * reps)[: 3 * reps]
+            return seq
+
+        trajectories = []
+        for i in range(6):
+            coords = cycle([a, b, c], 10)
+            trajectories.append(traj(f"x{i}", coords))
+        for i in range(6):
+            coords = cycle([c, b, a], 10)
+            trajectories.append(traj(f"y{i}", coords))
+        ds = TrajectoryDataset(trajectories)
+
+        result = DPT(epsilon=50.0, grid=3, order=2, seed=1).anonymize(ds)
+        # Map synthetic x-coordinates back to the three cells.
+        violations = 0
+        contexts = 0
+        for t in result:
+            cells = [round(p.x / bbox_step) for p in t]
+            for i in range(len(cells) - 2):
+                if cells[i] == 0 and cells[i + 1] == 1:  # context (A, B)
+                    contexts += 1
+                    if cells[i + 2] != 2:
+                        violations += 1
+        assert contexts > 0
+        assert violations / contexts < 0.2
+
+
+class TestAdaTrace:
+    def test_rejects_bad_grid(self):
+        with pytest.raises(ValueError):
+            AdaTrace(top_grid=1)
+
+    def test_generates_synthetic_dataset(self, fleet):
+        result = AdaTrace(epsilon=1.0, seed=0).anonymize(fleet.dataset)
+        assert len(result) == len(fleet.dataset)
+        assert all(t.object_id.startswith("ada") for t in result)
+        assert all(len(t) >= 2 for t in result)
+
+    def test_deterministic_with_seed(self, fleet):
+        a = AdaTrace(epsilon=1.0, seed=3).anonymize(fleet.dataset)
+        b = AdaTrace(epsilon=1.0, seed=3).anonymize(fleet.dataset)
+        for ta, tb in zip(a, b):
+            assert [p.coord for p in ta] == [p.coord for p in tb]
+
+    def test_trips_end_at_sampled_destination(self, fleet):
+        """The utility-aware synthesizer pins the trip endpoint."""
+        ada = AdaTrace(epsilon=5.0, seed=4)
+        result = ada.anonymize(fleet.dataset)
+        bbox = fleet.dataset.bbox()
+        # Endpoints should be cell centres of the adaptive grid, i.e.
+        # every trajectory ends somewhere inside the data extent.
+        for t in result:
+            assert bbox.expand(1.0).contains(t[len(t) - 1].coord)
+
+    def test_empty_dataset(self):
+        assert len(AdaTrace(seed=0).anonymize(TrajectoryDataset())) == 0

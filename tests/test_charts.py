@@ -1,0 +1,63 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.experiments.charts import render_chart
+
+
+class TestRenderChart:
+    def test_basic_render(self):
+        chart = render_chart(
+            {"A": [0.1, 0.5, 0.9], "B": [0.9, 0.5, 0.1]},
+            x_values=[1.0, 2.0, 3.0],
+            title="demo",
+        )
+        assert "demo" in chart
+        assert "o=A" in chart
+        assert "x=B" in chart
+        assert "o" in chart.splitlines()[2] or "o" in chart
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ValueError):
+            render_chart({"A": [1.0]}, [0.0], width=2)
+        with pytest.raises(ValueError):
+            render_chart({"A": [1.0]}, [0.0], height=1)
+
+    def test_none_values_skipped(self):
+        chart = render_chart({"A": [None, 0.5, None]}, [1.0, 2.0, 3.0])
+        assert "o" in chart
+
+    def test_empty_series(self):
+        chart = render_chart({"A": [None, None]}, [1.0, 2.0], title="void")
+        assert "(no data)" in chart
+
+    def test_constant_series_renders(self):
+        chart = render_chart({"A": [2.0, 2.0, 2.0]}, [1.0, 2.0, 3.0])
+        assert "o" in chart
+
+    def test_log_scale_positive_only(self):
+        chart = render_chart(
+            {"fast": [0.01, 0.1], "slow": [1.0, 10.0]},
+            [10.0, 20.0],
+            log_y=True,
+        )
+        assert "o" in chart
+        assert "x" in chart
+
+    def test_log_scale_skips_non_positive(self):
+        chart = render_chart({"A": [0.0, 1.0]}, [1.0, 2.0], log_y=True)
+        assert "o" in chart  # only the positive point plotted
+
+    def test_extremes_on_opposite_rows(self):
+        """Max lands on the top row, min on the bottom row."""
+        chart = render_chart(
+            {"A": [0.0, 1.0]}, [1.0, 2.0], width=20, height=6
+        )
+        rows = [line for line in chart.splitlines() if "|" in line]
+        assert "o" in rows[0]  # max at top
+        assert "o" in rows[-1]  # min at bottom
+
+    def test_x_axis_labels_present(self):
+        chart = render_chart({"A": [1.0, 2.0]}, [0.5, 5.0])
+        assert "0.5" in chart
+        assert "5" in chart

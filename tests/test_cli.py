@@ -1,0 +1,133 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.trajectory.io import read_csv
+
+
+@pytest.fixture
+def fleet_csv(tmp_path):
+    path = tmp_path / "fleet.csv"
+    code = main(
+        [
+            "generate",
+            "--objects", "8",
+            "--points", "60",
+            "--rows", "10",
+            "--cols", "10",
+            "--seed", "3",
+            "-o", str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_csv(self, fleet_csv):
+        dataset = read_csv(fleet_csv)
+        assert len(dataset) == 8
+        assert all(len(t) == 60 for t in dataset)
+
+    def test_deterministic(self, tmp_path):
+        a = tmp_path / "a.csv"
+        b = tmp_path / "b.csv"
+        for target in (a, b):
+            main(["generate", "--objects", "3", "--points", "30",
+                  "--rows", "8", "--cols", "8", "--seed", "5", "-o", str(target)])
+        assert a.read_text() == b.read_text()
+
+
+class TestAnonymize:
+    @pytest.mark.parametrize("model", ("gl", "pureg", "purel"))
+    def test_models(self, fleet_csv, tmp_path, model, capsys):
+        out = tmp_path / f"{model}.csv"
+        code = main(
+            [
+                "anonymize",
+                "-i", str(fleet_csv),
+                "-o", str(out),
+                "--model", model,
+                "--epsilon", "1.0",
+                "--signature-size", "3",
+                "--seed", "1",
+            ]
+        )
+        assert code == 0
+        result = read_csv(out)
+        assert len(result) == 8
+        captured = capsys.readouterr().out
+        assert "budget" in captured
+
+    def test_custom_backend(self, fleet_csv, tmp_path):
+        out = tmp_path / "out.csv"
+        code = main(
+            [
+                "anonymize",
+                "-i", str(fleet_csv),
+                "-o", str(out),
+                "--model", "purel",
+                "--signature-size", "3",
+                "--index", "uniform",
+                "--seed", "2",
+            ]
+        )
+        assert code == 0
+
+
+class TestAttackAndEvaluate:
+    def test_attack_self(self, fleet_csv, capsys):
+        code = main(
+            ["attack", "-i", str(fleet_csv), "-a", str(fleet_csv), "--kind", "spatial"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "LA_spatial" in out
+        # Self-attack must link perfectly.
+        assert "1.000" in out
+
+    def test_attack_all_kinds(self, fleet_csv, capsys):
+        code = main(["attack", "-i", str(fleet_csv), "-a", str(fleet_csv)])
+        assert code == 0
+        out = capsys.readouterr().out
+        for kind in ("spatial", "temporal", "spatiotemporal", "sequential"):
+            assert f"LA_{kind}" in out
+
+    def test_evaluate_identity(self, fleet_csv, capsys):
+        code = main(["evaluate", "-i", str(fleet_csv), "-a", str(fleet_csv)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "INF  0.000" in out
+        assert "FFP  1.000" in out
+
+    def test_round_trip_anonymize_then_attack(self, fleet_csv, tmp_path, capsys):
+        out = tmp_path / "private.csv"
+        main(
+            [
+                "anonymize", "-i", str(fleet_csv), "-o", str(out),
+                "--model", "gl", "--signature-size", "3", "--seed", "4",
+            ]
+        )
+        capsys.readouterr()
+        code = main(
+            ["attack", "-i", str(fleet_csv), "-a", str(out), "--kind", "spatial"]
+        )
+        assert code == 0
+        assert "LA_spatial" in capsys.readouterr().out
+
+
+class TestExperimentCommand:
+    def test_fig5_smoke(self, capsys):
+        code = main(["experiment", "fig5", "--preset", "smoke"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Linear" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_target(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "table9"])

@@ -1,0 +1,96 @@
+"""Tests for trajectory-to-trajectory distances."""
+
+import pytest
+
+from repro.trajectory.distance import (
+    hausdorff_distance,
+    spatiotemporal_edit_distance,
+    synchronized_distance,
+)
+from repro.trajectory.model import Point, Trajectory
+
+
+def traj(coords, t0=0.0, dt=60.0, object_id="t"):
+    return Trajectory(
+        object_id,
+        [Point(float(x), float(y), t0 + dt * i) for i, (x, y) in enumerate(coords)],
+    )
+
+
+class TestHausdorff:
+    def test_identical_is_zero(self):
+        a = traj([(0, 0), (10, 0)])
+        assert hausdorff_distance(a, a) == 0.0
+
+    def test_known_value(self):
+        a = traj([(0, 0), (10, 0)])
+        b = traj([(0, 5), (10, 5)])
+        assert hausdorff_distance(a, b) == pytest.approx(5.0)
+
+    def test_symmetric(self):
+        a = traj([(0, 0), (10, 0), (20, 3)])
+        b = traj([(0, 5), (12, 5)])
+        assert hausdorff_distance(a, b) == pytest.approx(hausdorff_distance(b, a))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            hausdorff_distance(traj([]), traj([(0, 0)]))
+
+
+class TestSpatioTemporalEditDistance:
+    def test_identical_is_zero(self):
+        a = traj([(0, 0), (100, 0), (200, 0)])
+        assert spatiotemporal_edit_distance(a, a) == 0.0
+
+    def test_completely_different_is_one(self):
+        a = traj([(0, 0), (100, 0)])
+        b = traj([(100000, 100000), (200000, 100000)])
+        assert spatiotemporal_edit_distance(a, b) == pytest.approx(1.0)
+
+    def test_time_mismatch_counts(self):
+        a = traj([(0, 0), (100, 0)], t0=0.0)
+        b = traj([(0, 0), (100, 0)], t0=100000.0)
+        assert spatiotemporal_edit_distance(a, b, time_tolerance=600.0) == pytest.approx(1.0)
+
+    def test_partial_overlap_between_zero_and_one(self):
+        a = traj([(0, 0), (100, 0), (200, 0), (300, 0)])
+        b = traj([(0, 0), (100, 0), (90000, 90000), (91000, 90000)])
+        d = spatiotemporal_edit_distance(a, b)
+        assert 0.0 < d < 1.0
+
+    def test_normalised_range(self):
+        a = traj([(0, 0)] * 5)
+        b = traj([(10000, 10000)] * 3)
+        d = spatiotemporal_edit_distance(a, b)
+        assert 0.0 <= d <= 1.0
+
+    def test_empty_cases(self):
+        assert spatiotemporal_edit_distance(traj([]), traj([])) == 0.0
+        assert spatiotemporal_edit_distance(traj([]), traj([(0, 0)])) == 1.0
+
+    def test_banded_matches_exact_for_small_inputs(self):
+        a = traj([(i * 100, 0) for i in range(10)])
+        b = traj([(i * 100, 50) for i in range(8)])
+        banded = spatiotemporal_edit_distance(a, b, band=64)
+        exact = spatiotemporal_edit_distance(a, b, band=None)
+        assert banded == pytest.approx(exact)
+
+
+class TestSynchronizedDistance:
+    def test_identical_is_zero(self):
+        a = traj([(0, 0), (100, 0), (200, 0)])
+        assert synchronized_distance(a, a) == 0.0
+
+    def test_parallel_offset(self):
+        a = traj([(0, 0), (100, 0)])
+        b = traj([(0, 30), (100, 30)])
+        assert synchronized_distance(a, b) == pytest.approx(30.0)
+
+    def test_different_lengths_supported(self):
+        a = traj([(0, 0), (50, 0), (100, 0)])
+        b = traj([(0, 10), (100, 10)])
+        assert synchronized_distance(a, b) == pytest.approx(10.0, rel=0.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            synchronized_distance(traj([]), traj([(0, 0)]))

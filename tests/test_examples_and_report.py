@@ -1,0 +1,62 @@
+"""Smoke checks: examples compile, the report generator produces markdown."""
+
+import py_compile
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import fig4, fig5, table2
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import (
+    fig4_markdown,
+    fig5_markdown,
+    table2_markdown,
+)
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        names = {p.name for p in EXAMPLES}
+        assert "quickstart.py" in names
+        assert len(EXAMPLES) >= 3
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+    def test_example_compiles(self, path, tmp_path):
+        py_compile.compile(str(path), cfile=str(tmp_path / "out.pyc"), doraise=True)
+
+    def test_quickstart_runs(self, capsys):
+        import runpy
+
+        runpy.run_path(str(EXAMPLES[[p.name for p in EXAMPLES].index("quickstart.py")]),
+                       run_name="__main__")
+        out = capsys.readouterr().out
+        assert "total privacy budget" in out
+        assert "signature point" in out
+
+
+class TestReportGenerator:
+    @pytest.fixture(scope="class")
+    def config(self):
+        return ExperimentConfig.smoke()
+
+    def test_table2_markdown(self, config):
+        results = table2.run(config, methods=["SC", "GL"])
+        text = table2_markdown(results)
+        assert text.startswith("| Metric |")
+        assert "| SC |" in text or "SC" in text.splitlines()[0]
+        assert "LAs" in text
+
+    def test_fig4_markdown(self, config):
+        series = fig4.run(config, epsilons=(1.0,))
+        text = fig4_markdown(series, (1.0,))
+        assert "**LAs vs ε**" in text
+        assert "| GL |" in text
+
+    def test_fig5_markdown(self, config):
+        results = fig5.run(config, sizes=(8,))
+        text = fig5_markdown(results, (8,))
+        assert "kNN search time" in text
+        assert "| Linear |" in text
+        assert "| Global |" in text

@@ -1,0 +1,172 @@
+"""Tests for HMM map matching and the recovery attack."""
+
+import pytest
+
+from repro.attacks.hmm import HmmMapMatcher
+from repro.attacks.recovery import RecoveryAttack
+from repro.datagen.generator import FleetConfig, generate_fleet
+from repro.datagen.road_network import build_road_network
+from repro.metrics.recovery import score_recovery
+from repro.trajectory.model import Point, Trajectory, TrajectoryDataset
+
+
+@pytest.fixture(scope="module")
+def network():
+    return build_road_network(rows=12, cols=12, spacing=600.0, seed=2)
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return generate_fleet(
+        FleetConfig(
+            n_objects=6,
+            points_per_trajectory=60,
+            rows=12,
+            cols=12,
+            seed=41,
+            gps_noise=25.0,
+        )
+    )
+
+
+class TestConfiguration:
+    def test_rejects_bad_params(self, network):
+        with pytest.raises(ValueError):
+            HmmMapMatcher(network, sigma=0.0)
+        with pytest.raises(ValueError):
+            HmmMapMatcher(network, beta=-1.0)
+
+
+class TestCandidates:
+    def test_candidates_sorted_and_capped(self, network):
+        matcher = HmmMapMatcher(network, max_candidates=3)
+        coord = network.node_coord(40)
+        candidates = matcher.candidates_for(coord)
+        assert 1 <= len(candidates) <= 3
+        errors = [c.error for c in candidates]
+        assert errors == sorted(errors)
+
+    def test_no_candidates_far_away(self, network):
+        matcher = HmmMapMatcher(network)
+        assert matcher.candidates_for((1e8, 1e8)) == []
+
+    def test_candidate_offsets_within_edge(self, network):
+        matcher = HmmMapMatcher(network)
+        for candidate in matcher.candidates_for(network.node_coord(50)):
+            assert -1e-6 <= candidate.offset <= candidate.edge.length + 1e-6
+
+
+class TestRouteDistance:
+    def test_same_edge(self, network):
+        matcher = HmmMapMatcher(network)
+        edge = network.edges[0]
+        a = network.node_coord(edge.u)
+        b = network.node_coord(edge.v)
+        ca = matcher.candidates_for(a)[0]
+        cb_list = [c for c in matcher.candidates_for(b) if c.edge.key == ca.edge.key]
+        if cb_list:
+            d = matcher.route_distance(ca, cb_list[0], cutoff=10_000.0)
+            assert d == pytest.approx(abs(cb_list[0].offset - ca.offset), abs=1e-6)
+
+    def test_cutoff_returns_inf(self, network):
+        matcher = HmmMapMatcher(network)
+        a = matcher.candidates_for(network.node_coord(0))[0]
+        b = matcher.candidates_for(network.node_coord(143))[0]
+        assert matcher.route_distance(a, b, cutoff=10.0) == float("inf")
+
+
+class TestMatching:
+    def test_matches_clean_route(self, network):
+        """A noise-free route along the network must be recovered well."""
+        path = network.shortest_path(0, 143)
+        coords = network.route_points(path, step=600.0)
+        trajectory = Trajectory(
+            "probe", [Point(x, y, 60.0 * i) for i, (x, y) in enumerate(coords)]
+        )
+        matcher = HmmMapMatcher(network)
+        result = matcher.match(trajectory)
+        assert result.matched_fraction > 0.95
+        truth_edges = set()
+        for i in range(len(path) - 1):
+            u, v = path[i], path[i + 1]
+            truth_edges.add((u, v) if u < v else (v, u))
+        recovered = set(result.edge_keys)
+        overlap = len(truth_edges & recovered) / len(truth_edges)
+        assert overlap > 0.8
+
+    def test_matches_noisy_route(self, network):
+        import random
+
+        rng = random.Random(9)
+        path = network.shortest_path(5, 138)
+        coords = network.route_points(path, step=600.0)
+        trajectory = Trajectory(
+            "probe",
+            [
+                Point(x + rng.gauss(0, 30), y + rng.gauss(0, 30), 60.0 * i)
+                for i, (x, y) in enumerate(coords)
+            ],
+        )
+        result = HmmMapMatcher(network).match(trajectory)
+        assert result.matched_fraction > 0.9
+
+    def test_empty_trajectory(self, network):
+        result = HmmMapMatcher(network).match(Trajectory("x"))
+        assert result.edge_keys == []
+        assert result.matched_fraction == 0.0
+
+    def test_gap_handling(self, network):
+        """Samples far off-network break the chain but matching resumes."""
+        path = network.shortest_path(0, 11)
+        coords = network.route_points(path, step=600.0)
+        points = [Point(x, y, 60.0 * i) for i, (x, y) in enumerate(coords)]
+        points.insert(len(points) // 2, Point(1e7, 1e7, points[-1].t / 2))
+        result = HmmMapMatcher(network).match(Trajectory("x", points))
+        assert result.candidates[len(points) // 2] is None
+        assert result.matched_fraction > 0.8
+
+
+class TestRecoveryAttackEndToEnd:
+    def test_recovers_original_data_well(self, fleet):
+        """The attack premise: raw published data is highly recoverable."""
+        attack = RecoveryAttack(fleet.network, max_points_per_trajectory=60)
+        output = attack.run(fleet.dataset)
+        metrics = score_recovery(
+            fleet.network, fleet.dataset, fleet.routes, output
+        )
+        assert metrics.recall > 0.25  # truncated probe: partial recall
+        assert metrics.precision > 0.5
+        assert metrics.accuracy > 0.5
+
+    def test_scores_align_with_dataset(self, fleet):
+        attack = RecoveryAttack(fleet.network, max_points_per_trajectory=30)
+        output = attack.run(fleet.dataset)
+        with pytest.raises(ValueError):
+            score_recovery(
+                fleet.network,
+                TrajectoryDataset([fleet.dataset[0].copy()]),
+                fleet.routes,
+                output,
+            )
+
+    def test_anonymization_degrades_recovery(self, fleet):
+        """GL must make recovery harder than publishing raw data."""
+        from repro.core.pipeline import GL
+
+        attack = RecoveryAttack(fleet.network, max_points_per_trajectory=60)
+        raw = score_recovery(
+            fleet.network,
+            fleet.dataset,
+            fleet.routes,
+            attack.run(fleet.dataset),
+        )
+        anonymized = GL(epsilon=1.0, signature_size=5, seed=2).anonymize(
+            fleet.dataset
+        )
+        private = score_recovery(
+            fleet.network,
+            fleet.dataset,
+            fleet.routes,
+            attack.run(anonymized),
+        )
+        assert private.f_score <= raw.f_score + 0.05

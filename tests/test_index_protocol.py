@@ -1,0 +1,118 @@
+"""Protocol-compliance tests: every backend honours SegmentIndex.
+
+Parametrized over all four implementations so a new backend gets the
+full behavioural contract for free.
+"""
+
+import random
+
+import pytest
+
+from repro.geo.geometry import BBox
+from repro.index import (
+    HierarchicalGridIndex,
+    LinearSegmentIndex,
+    RTreeIndex,
+    SegmentIndex,
+    UniformGridIndex,
+)
+from repro.index.search import linear_knn
+
+BOX = BBox(0.0, 0.0, 1000.0, 1000.0)
+
+BACKENDS = {
+    "linear": lambda: LinearSegmentIndex(),
+    "uniform-overlap": lambda: UniformGridIndex(BOX, granularity=32),
+    "uniform-midpoint": lambda: UniformGridIndex(
+        BOX, granularity=32, assignment="midpoint"
+    ),
+    "hierarchical": lambda: HierarchicalGridIndex(BOX, levels=6),
+    "rtree": lambda: RTreeIndex(leaf_capacity=4),
+}
+
+
+@pytest.fixture(params=sorted(BACKENDS), ids=sorted(BACKENDS))
+def index(request):
+    return BACKENDS[request.param]()
+
+
+def fill(index, n=60, seed=5):
+    rng = random.Random(seed)
+    segments = []
+    for _ in range(n):
+        x = rng.uniform(0, 1000)
+        y = rng.uniform(0, 1000)
+        a = (x, y)
+        b = (x + rng.uniform(-60, 60), y + rng.uniform(-60, 60))
+        sid = index.insert(a, b, owner=f"o{rng.randrange(5)}")
+        segments.append(index.segment(sid))
+    return segments
+
+
+class TestProtocolCompliance:
+    def test_satisfies_runtime_protocol(self, index):
+        assert isinstance(index, SegmentIndex)
+
+    def test_len_tracks_inserts_and_removes(self, index):
+        assert len(index) == 0
+        sid = index.insert((1, 1), (2, 2))
+        assert len(index) == 1
+        index.remove(sid)
+        assert len(index) == 0
+
+    def test_segment_lookup(self, index):
+        sid = index.insert((1, 1), (2, 2), owner="me")
+        segment = index.segment(sid)
+        assert segment.sid == sid
+        assert segment.owner == "me"
+        assert segment.a == (1, 1)
+        assert segment.b == (2, 2)
+
+    def test_lookup_after_remove_raises(self, index):
+        sid = index.insert((1, 1), (2, 2))
+        index.remove(sid)
+        with pytest.raises(KeyError):
+            index.segment(sid)
+
+    def test_double_remove_raises(self, index):
+        sid = index.insert((1, 1), (2, 2))
+        index.remove(sid)
+        with pytest.raises(KeyError):
+            index.remove(sid)
+
+    def test_ids_never_reused(self, index):
+        sids = set()
+        for i in range(10):
+            sid = index.insert((float(i), 0.0), (float(i), 1.0))
+            assert sid not in sids
+            sids.add(sid)
+            if i % 2 == 0:
+                index.remove(sid)
+
+    def test_knn_on_empty(self, index):
+        assert index.knn((5, 5), 3) == []
+
+    def test_knn_matches_linear_reference(self, index):
+        segments = fill(index)
+        for q in [(0, 0), (500, 500), (999, 999)]:
+            got = [round(d, 6) for _, d in index.knn(q, 5)]
+            want = [round(d, 6) for _, d in linear_knn(segments, q, 5)]
+            assert got == want
+
+    def test_knn_after_churn(self, index):
+        rng = random.Random(11)
+        fill(index, n=40, seed=7)
+        # Remove half of what kNN finds near the centre, twice.
+        for _ in range(2):
+            for sid, _ in index.knn((500, 500), 10):
+                index.remove(sid)
+        live = []
+        for sid, _ in index.knn((500, 500), 10_000):
+            live.append(index.segment(sid))
+        got = [round(d, 6) for _, d in index.knn((500, 500), 4)]
+        want = [round(d, 6) for _, d in linear_knn(live, (500, 500), 4)]
+        assert got == want
+
+    def test_owner_optional(self, index):
+        sid = index.insert((0, 0), (1, 1))
+        assert index.segment(sid).owner is None

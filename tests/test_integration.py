@@ -1,0 +1,108 @@
+"""End-to-end integration tests: the paper's headline orderings.
+
+These run the actual experiment pipeline (generation → anonymization →
+attacks → metrics) at smoke scale and assert the *relative* results the
+paper's story depends on. They are the regression net for the whole
+system: if a mechanism, an attack, or a metric drifts, one of these
+orderings breaks.
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.table2 import run as run_table2
+
+
+@pytest.fixture(scope="module")
+def results():
+    """One shared Table II run over the methods the assertions need."""
+    config = ExperimentConfig.smoke()
+    return run_table2(
+        config,
+        methods=[
+            "SC", "RSC-0.1", "RSC-5", "W4M", "GLOVE", "DPT",
+            "PureG", "PureL", "GL",
+        ],
+    )
+
+
+class TestPrivacyOrderings:
+    def test_gl_strongest_of_ours_on_spatial_linkage(self, results):
+        """Paper: LA_s(GL) < LA_s(PureL) < LA_s(PureG)."""
+        assert results["GL"]["LAs"] <= results["PureL"]["LAs"]
+        assert results["PureL"]["LAs"] <= results["PureG"]["LAs"]
+
+    def test_pureg_barely_protects(self, results):
+        assert results["PureG"]["LAs"] >= 0.7
+
+    def test_generative_model_best_privacy(self, results):
+        assert results["DPT"]["LAs"] <= results["SC"]["LAs"]
+        assert results["DPT"]["LAs"] <= results["GL"]["LAs"]
+
+    def test_rsc_radius_strengthens_privacy(self, results):
+        assert results["RSC-5"]["LAs"] <= results["RSC-0.1"]["LAs"]
+
+    def test_glove_strong_linkage_protection(self, results):
+        assert results["GLOVE"]["LAs"] <= results["SC"]["LAs"]
+
+
+class TestUtilityOrderings:
+    def test_dpt_worst_information_loss(self, results):
+        for method in ("SC", "W4M", "PureG", "PureL", "GL"):
+            assert results["DPT"]["INF"] >= results[method]["INF"]
+
+    def test_our_models_preserve_patterns(self, results):
+        for model in ("PureG", "PureL", "GL"):
+            assert results[model]["FFP"] >= 0.6
+
+    def test_our_models_preserve_diameters(self, results):
+        """Paper: DE < 1.5 % for the frequency-based models."""
+        for model in ("PureG", "PureL", "GL"):
+            assert results[model]["DE"] <= 0.1
+
+    def test_rsc_radius_costs_utility(self, results):
+        assert results["RSC-5"]["INF"] >= results["RSC-0.1"]["INF"]
+        assert results["RSC-5"]["FFP"] <= results["RSC-0.1"]["FFP"]
+
+    def test_generative_pattern_loss(self, results):
+        assert results["DPT"]["FFP"] <= results["GL"]["FFP"]
+
+
+class TestRecoveryOrderings:
+    def test_sc_remains_recoverable(self, results):
+        """The paper's motivation: deleting signatures does not stop
+        map-matching recovery."""
+        assert results["SC"]["F-score"] >= 0.5
+
+    def test_rsc_radius_blocks_recovery(self, results):
+        assert results["RSC-5"]["Recall"] <= results["RSC-0.1"]["Recall"]
+
+    def test_generalization_blocks_recovery(self, results):
+        assert results["GLOVE"]["F-score"] <= results["SC"]["F-score"]
+
+    def test_synthetic_methods_skip_recovery(self, results):
+        assert results["DPT"]["Precision"] is None
+        assert results["DPT"]["LAt"] is None
+
+
+class TestBudgetMonotonicity:
+    """Privacy degrades / utility improves as ε grows (Figure 4)."""
+
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        from repro.experiments.fig4 import run as run_fig4
+
+        config = ExperimentConfig.smoke()
+        return run_fig4(config, epsilons=(0.2, 5.0))
+
+    def test_pureg_utility_improves_with_epsilon(self, sweep):
+        low, high = sweep["TE"]["PureG"]
+        assert high <= low + 0.05
+
+    def test_pureg_linkage_grows_with_epsilon(self, sweep):
+        low, high = sweep["LAs"]["PureG"]
+        assert high >= low - 0.05
+
+    def test_gl_rmf_falls_with_epsilon(self, sweep):
+        low, high = sweep["RMF"]["GL"]
+        assert high <= low + 0.05

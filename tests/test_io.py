@@ -1,0 +1,98 @@
+"""Round-trip tests for trajectory I/O."""
+
+import pytest
+
+from repro.trajectory.io import (
+    project_latlon,
+    read_csv,
+    read_tdrive_directory,
+    write_csv,
+    write_tdrive_directory,
+)
+from repro.trajectory.model import Point, Trajectory, TrajectoryDataset
+
+
+@pytest.fixture
+def dataset():
+    return TrajectoryDataset(
+        [
+            Trajectory("taxi1", [Point(0.0, 0.0, 0.0), Point(600.0, 0.0, 186.0)]),
+            Trajectory("taxi2", [Point(100.5, -20.25, 10.0)]),
+        ]
+    )
+
+
+class TestCsvRoundTrip:
+    def test_round_trip(self, dataset, tmp_path):
+        path = tmp_path / "fleet.csv"
+        write_csv(dataset, path)
+        loaded = read_csv(path)
+        assert len(loaded) == 2
+        for original, restored in zip(dataset, loaded):
+            assert original.object_id == restored.object_id
+            assert len(original) == len(restored)
+            for p, q in zip(original, restored):
+                assert p.coord == pytest.approx(q.coord, abs=1e-3)
+                assert p.t == pytest.approx(q.t, abs=1e-3)
+
+    def test_read_rejects_bad_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ValueError):
+            read_csv(path)
+
+    def test_read_rejects_malformed_row(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("object_id,t,x,y\nobj,1.0,2.0\n")
+        with pytest.raises(ValueError):
+            read_csv(path)
+
+    def test_read_sorts_by_time(self, tmp_path):
+        path = tmp_path / "unsorted.csv"
+        path.write_text(
+            "object_id,t,x,y\nobj,20.0,1.0,1.0\nobj,10.0,0.0,0.0\n"
+        )
+        loaded = read_csv(path)
+        assert [p.t for p in loaded[0]] == [10.0, 20.0]
+
+
+class TestTdriveDirectory:
+    def test_round_trip(self, dataset, tmp_path):
+        write_tdrive_directory(dataset, tmp_path / "fleet")
+        loaded = read_tdrive_directory(tmp_path / "fleet")
+        assert sorted(t.object_id for t in loaded) == ["taxi1", "taxi2"]
+        assert len(loaded.by_id("taxi1")) == 2
+
+    def test_empty_directory(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        assert len(read_tdrive_directory(tmp_path / "empty")) == 0
+
+
+class TestProjectLatLon:
+    def test_empty(self):
+        assert len(project_latlon([])) == 0
+
+    def test_local_distances_preserved(self):
+        # Two points ~1.11 km apart in latitude near Beijing.
+        records = [
+            ("t", 0.0, 39.90, 116.40),
+            ("t", 60.0, 39.91, 116.40),
+        ]
+        ds = project_latlon(records)
+        d = ds[0][0].distance_to(ds[0][1])
+        assert d == pytest.approx(1111.9, rel=0.01)
+
+    def test_explicit_origin_places_points(self):
+        records = [("t", 0.0, 39.90, 116.40)]
+        ds = project_latlon(records, origin=(39.90, 116.40))
+        assert ds[0][0].coord == pytest.approx((0.0, 0.0), abs=1e-6)
+
+    def test_groups_multiple_objects(self):
+        records = [
+            ("a", 0.0, 39.90, 116.40),
+            ("b", 0.0, 39.95, 116.45),
+            ("a", 60.0, 39.91, 116.41),
+        ]
+        ds = project_latlon(records)
+        assert len(ds) == 2
+        assert len(ds.by_id("a")) == 2

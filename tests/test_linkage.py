@@ -1,0 +1,147 @@
+"""Tests for the re-identification (linkage) attack."""
+
+import pytest
+
+from repro.attacks.linkage import (
+    LinkageAttack,
+    SIGNATURE_KINDS,
+    cosine_similarity,
+)
+from repro.datagen.generator import FleetConfig, generate_fleet
+from repro.trajectory.model import Point, Trajectory, TrajectoryDataset
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return generate_fleet(
+        FleetConfig(n_objects=20, points_per_trajectory=100, rows=12, cols=12, seed=31)
+    )
+
+
+class TestCosineSimilarity:
+    def test_identical(self):
+        v = {"a": 2.0, "b": 1.0}
+        assert cosine_similarity(v, v) == pytest.approx(1.0)
+
+    def test_orthogonal(self):
+        assert cosine_similarity({"a": 1.0}, {"b": 1.0}) == 0.0
+
+    def test_empty(self):
+        assert cosine_similarity({}, {"a": 1.0}) == 0.0
+
+    def test_scale_invariant(self):
+        a = {"x": 1.0, "y": 2.0}
+        b = {"x": 10.0, "y": 20.0}
+        assert cosine_similarity(a, b) == pytest.approx(1.0)
+
+
+class TestConfiguration:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            LinkageAttack(cell_size=0)
+        with pytest.raises(ValueError):
+            LinkageAttack(top_k=0)
+
+    def test_rejects_unknown_kind(self, fleet):
+        attack = LinkageAttack()
+        with pytest.raises(ValueError):
+            attack.link(fleet.dataset, fleet.dataset, kind="biometric")
+
+    def test_rejects_mismatched_sizes(self, fleet):
+        attack = LinkageAttack()
+        smaller = TrajectoryDataset([fleet.dataset[0].copy()])
+        with pytest.raises(ValueError):
+            attack.link(fleet.dataset, smaller)
+
+
+class TestSelfLinking:
+    """Linking a dataset against itself must be (nearly) perfect —
+    the paper's premise that signatures identify individuals."""
+
+    @pytest.mark.parametrize("kind", SIGNATURE_KINDS)
+    def test_self_link_high_accuracy(self, fleet, kind):
+        attack = LinkageAttack(cell_size=250.0, top_k=10)
+        result = attack.link(fleet.dataset, fleet.dataset, kind=kind)
+        assert result.total == len(fleet.dataset)
+        if kind == "temporal":
+            # Temporal profiles are weak identifiers on taxi-like data.
+            assert result.accuracy >= 0.2
+        else:
+            assert result.accuracy >= 0.9
+
+    def test_assignment_structure(self, fleet):
+        attack = LinkageAttack()
+        result = attack.link(fleet.dataset, fleet.dataset, kind="spatial")
+        assert set(result.assignment) == {
+            t.object_id for t in fleet.dataset
+        }
+
+
+class TestLinkingUnderAnonymization:
+    def test_shuffled_points_still_link_spatially(self, fleet):
+        """Spatial signature ignores order: permuting points changes nothing."""
+        shuffled = TrajectoryDataset(
+            Trajectory(t.object_id, list(reversed(t.points)))
+            for t in fleet.dataset
+        )
+        attack = LinkageAttack()
+        assert attack.linking_accuracy(fleet.dataset, shuffled, "spatial") >= 0.9
+
+    def test_constant_translation_defeats_spatial_linkage(self, fleet):
+        moved = TrajectoryDataset(
+            Trajectory(
+                t.object_id,
+                [Point(p.x + 50_000.0, p.y + 50_000.0, p.t) for p in t],
+            )
+            for t in fleet.dataset
+        )
+        attack = LinkageAttack()
+        accuracy = attack.linking_accuracy(fleet.dataset, moved, "spatial")
+        assert accuracy <= 0.3
+
+    def test_signature_removal_lowers_accuracy(self, fleet):
+        """Dropping signature points must reduce spatial linkability."""
+        from repro.baselines.signature_closure import SignatureClosure
+
+        anonymized = SignatureClosure(signature_size=5).anonymize(fleet.dataset)
+        attack = LinkageAttack()
+        before = attack.linking_accuracy(fleet.dataset, fleet.dataset, "spatial")
+        after = attack.linking_accuracy(fleet.dataset, anonymized, "spatial")
+        assert after < before
+
+    def test_gl_lowers_accuracy_more_than_pureg(self, fleet):
+        """Paper's headline: GL protects better than PureG on LA_s."""
+        from repro.core.pipeline import GL, PureG
+
+        attack = LinkageAttack()
+        pureg = PureG(epsilon=0.5, signature_size=5, seed=1).anonymize(fleet.dataset)
+        gl = GL(epsilon=1.0, signature_size=5, seed=1).anonymize(fleet.dataset)
+        la_pureg = attack.linking_accuracy(fleet.dataset, pureg, "spatial")
+        la_gl = attack.linking_accuracy(fleet.dataset, gl, "spatial")
+        assert la_gl <= la_pureg
+
+
+class TestProfiles:
+    def test_spatial_profile_top_k(self, fleet):
+        attack = LinkageAttack(top_k=5)
+        profile = attack.spatial_profile(fleet.dataset[0])
+        assert len(profile) <= 5
+
+    def test_temporal_profile_hours(self, fleet):
+        attack = LinkageAttack()
+        profile = attack.temporal_profile(fleet.dataset[0])
+        assert all(0 <= hour < 24 for hour in profile)
+
+    def test_sequential_profile_bigrams(self, fleet):
+        attack = LinkageAttack()
+        profile = attack.sequential_profile(fleet.dataset[0])
+        for key in profile:
+            assert len(key) == 2  # (cell, cell) bigram
+
+    def test_empty_trajectory_profiles(self):
+        attack = LinkageAttack()
+        empty = Trajectory("x")
+        assert attack.spatial_profile(empty) == {}
+        assert attack.temporal_profile(empty) == {}
+        assert attack.spatiotemporal_profile(empty) == {}
+        assert attack.sequential_profile(empty) == {}

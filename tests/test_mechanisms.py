@@ -1,0 +1,182 @@
+"""Tests for the global TF and local PF randomization mechanisms."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.global_mechanism import GlobalTFMechanism, TFPerturbation
+from repro.core.local_mechanism import LocalPFMechanism
+from repro.core.signature import SignatureExtractor
+from repro.trajectory.model import Point, Trajectory, TrajectoryDataset
+
+
+def traj(object_id, coords):
+    return Trajectory(
+        object_id,
+        [Point(float(x), float(y), 60.0 * i) for i, (x, y) in enumerate(coords)],
+    )
+
+
+@pytest.fixture
+def dataset():
+    return TrajectoryDataset(
+        [
+            traj("a", [(1, 1), (0, 0), (1, 1), (5, 5), (1, 1), (6, 6)]),
+            traj("b", [(2, 2), (0, 0), (2, 2), (6, 6), (7, 7)]),
+            traj("c", [(0, 0), (7, 7), (8, 8), (8, 8), (9, 9)]),
+            traj("d", [(4, 4), (4, 4), (0, 0), (3, 3), (9, 9)]),
+        ]
+    )
+
+
+class TestGlobalTFMechanism:
+    def test_perturbed_values_in_range(self, dataset):
+        mech = GlobalTFMechanism(epsilon=0.2)  # heavy noise
+        index = SignatureExtractor(m=2).extract(dataset)
+        rng = random.Random(0)
+        for _ in range(50):
+            result = mech.perturb(index.tf, len(dataset), rng)
+            for value in result.perturbed.values():
+                assert 0 <= value <= len(dataset)
+                assert isinstance(value, int)
+
+    def test_covers_whole_candidate_set(self, dataset):
+        mech = GlobalTFMechanism(epsilon=1.0)
+        index = SignatureExtractor(m=2).extract(dataset)
+        result = mech.perturb(index.tf, len(dataset), random.Random(1))
+        assert set(result.perturbed) == index.candidate_set
+
+    def test_deterministic_for_seed(self, dataset):
+        mech = GlobalTFMechanism(epsilon=1.0)
+        index = SignatureExtractor(m=2).extract(dataset)
+        a = mech.perturb(index.tf, len(dataset), random.Random(7))
+        b = mech.perturb(index.tf, len(dataset), random.Random(7))
+        assert a.perturbed == b.perturbed
+
+    def test_high_epsilon_barely_changes(self, dataset):
+        mech = GlobalTFMechanism(epsilon=100.0)
+        index = SignatureExtractor(m=2).extract(dataset)
+        result = mech.perturb(index.tf, len(dataset), random.Random(3))
+        assert result.perturbed == result.original
+
+    def test_delta_and_splits(self):
+        perturbation = TFPerturbation(
+            original={(0.0, 0.0): 3, (1.0, 1.0): 2, (2.0, 2.0): 5},
+            perturbed={(0.0, 0.0): 5, (1.0, 1.0): 2, (2.0, 2.0): 1},
+            epsilon=1.0,
+        )
+        assert perturbation.delta((0.0, 0.0)) == 2
+        assert perturbation.increases() == [((0.0, 0.0), 2)]
+        assert perturbation.decreases() == [((2.0, 2.0), 4)]
+
+    def test_rejects_empty_dataset(self, dataset):
+        mech = GlobalTFMechanism(epsilon=1.0)
+        with pytest.raises(ValueError):
+            mech.perturb({}, 0, random.Random(0))
+
+    def test_noise_magnitude_scales_with_epsilon(self, dataset):
+        index = SignatureExtractor(m=2).extract(dataset)
+
+        def mean_absolute_change(epsilon, seed):
+            mech = GlobalTFMechanism(epsilon=epsilon)
+            rng = random.Random(seed)
+            deltas = []
+            for _ in range(300):
+                result = mech.perturb(index.tf, len(dataset), rng)
+                deltas.extend(
+                    abs(result.delta(loc)) for loc in result.original
+                )
+            return sum(deltas) / len(deltas)
+
+        assert mean_absolute_change(0.2, 1) > mean_absolute_change(5.0, 1)
+
+
+class TestLocalPFMechanism:
+    def test_rejects_bad_m(self):
+        with pytest.raises(ValueError):
+            LocalPFMechanism(1.0, m=0)
+
+    def test_perturbs_2m_locations(self, dataset):
+        mech = LocalPFMechanism(epsilon=1.0, m=2)
+        index = SignatureExtractor(m=2).extract(dataset)
+        result = mech.perturb_trajectory(dataset[0], index, random.Random(0))
+        assert len(result.original) <= 4
+        assert set(result.original) == set(result.perturbed)
+
+    def test_all_frequencies_non_negative(self, dataset):
+        mech = LocalPFMechanism(epsilon=0.2, m=2)
+        index = SignatureExtractor(m=2).extract(dataset)
+        rng = random.Random(5)
+        for trajectory in dataset:
+            for _ in range(30):
+                result = mech.perturb_trajectory(trajectory, index, rng)
+                assert all(v >= 0 for v in result.perturbed.values())
+
+    def test_stage1_biases_signature_frequencies_down(self, dataset):
+        """Stage 1 draws from Lap(-f_k, 1/eps): signatures shrink on average."""
+        mech = LocalPFMechanism(epsilon=1.0, m=2)
+        index = SignatureExtractor(m=2).extract(dataset)
+        rng = random.Random(2)
+        drops = 0
+        total = 0
+        for _ in range(200):
+            result = mech.perturb_trajectory(dataset[0], index, rng)
+            for entry in index.signatures["a"]:
+                if entry.loc in result.perturbed:
+                    total += 1
+                    if result.perturbed[entry.loc] <= result.original[entry.loc]:
+                        drops += 1
+        assert drops / total > 0.8
+
+    def test_stage2_compensates_cardinality(self, dataset):
+        """With Stage 2, total point change stays near zero on average."""
+        mech = LocalPFMechanism(epsilon=1.0, m=2)
+        index = SignatureExtractor(m=2).extract(dataset)
+        rng = random.Random(4)
+        net_changes = []
+        for _ in range(300):
+            result = mech.perturb_trajectory(dataset[0], index, rng)
+            net = sum(
+                result.perturbed[loc] - result.original[loc]
+                for loc in result.original
+            )
+            net_changes.append(net)
+        mean_net = sum(net_changes) / len(net_changes)
+        # Without Stage 2 the mean net change would be strongly negative
+        # (roughly minus the total signature frequency ~ -4); with
+        # compensation it should hover near zero.
+        assert abs(mean_net) < 1.5
+
+    def test_stage1_mean_noise_recorded(self, dataset):
+        mech = LocalPFMechanism(epsilon=1.0, m=2)
+        index = SignatureExtractor(m=2).extract(dataset)
+        result = mech.perturb_trajectory(dataset[0], index, random.Random(0))
+        stage1_locs = [e.loc for e in index.signatures["a"]][:2]
+        expected = sum(
+            result.perturbed[loc] - result.original[loc] for loc in stage1_locs
+        ) / len(stage1_locs)
+        assert result.stage1_mean_noise == pytest.approx(expected)
+
+    def test_perturb_covers_all_trajectories(self, dataset):
+        mech = LocalPFMechanism(epsilon=1.0, m=2)
+        index = SignatureExtractor(m=2).extract(dataset)
+        results = mech.perturb(dataset, index, random.Random(0))
+        assert set(results) == {"a", "b", "c", "d"}
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), epsilon=st.floats(0.1, 10.0))
+    def test_outputs_are_valid_counts(self, seed, epsilon):
+        ds = TrajectoryDataset(
+            [
+                traj("a", [(1, 1), (1, 1), (2, 2), (3, 3), (4, 4)]),
+                traj("b", [(5, 5), (5, 5), (6, 6), (2, 2)]),
+            ]
+        )
+        mech = LocalPFMechanism(epsilon=epsilon, m=2)
+        index = SignatureExtractor(m=2).extract(ds)
+        results = mech.perturb(ds, index, random.Random(seed))
+        for result in results.values():
+            for loc, value in result.perturbed.items():
+                assert isinstance(value, int)
+                assert value >= 0

@@ -1,0 +1,186 @@
+"""Tests for privacy and utility metrics."""
+
+import pytest
+
+from repro.metrics.patterns import cell_sequence, mine_patterns, top_patterns
+from repro.metrics.privacy import mutual_information
+from repro.metrics.utility import (
+    _jensen_shannon,
+    diameter_error,
+    frequent_pattern_f1,
+    information_loss,
+    trip_error,
+)
+from repro.trajectory.model import Point, Trajectory, TrajectoryDataset
+from collections import Counter
+
+
+def traj(object_id, coords, t0=0.0):
+    return Trajectory(
+        object_id,
+        [Point(float(x), float(y), t0 + 60.0 * i) for i, (x, y) in enumerate(coords)],
+    )
+
+
+@pytest.fixture
+def dataset():
+    return TrajectoryDataset(
+        [
+            traj("a", [(0, 0), (600, 0), (1200, 0), (1800, 0)]),
+            traj("b", [(0, 5000), (600, 5000), (1200, 5000)]),
+            traj("c", [(3000, 3000), (3600, 3000), (3600, 3600)]),
+        ]
+    )
+
+
+class TestMutualInformation:
+    def test_identical_datasets_max_mi(self, dataset):
+        assert mutual_information(dataset, dataset) == pytest.approx(1.0)
+
+    def test_independent_data_low_mi(self, dataset):
+        scrambled = TrajectoryDataset(
+            [
+                traj("a", [(90000, 90000)] * 4),
+                traj("b", [(90000, 90000)] * 3),
+                traj("c", [(90000, 90000)] * 3),
+            ]
+        )
+        assert mutual_information(dataset, scrambled) == pytest.approx(0.0, abs=0.05)
+
+    def test_mismatched_sizes_raise(self, dataset):
+        with pytest.raises(ValueError):
+            mutual_information(dataset, TrajectoryDataset([dataset[0].copy()]))
+
+    def test_bounded(self, dataset):
+        shifted = TrajectoryDataset(
+            Trajectory(t.object_id, [Point(p.x + 300, p.y, p.t) for p in t])
+            for t in dataset
+        )
+        mi = mutual_information(dataset, shifted)
+        assert 0.0 <= mi <= 1.0
+
+
+class TestInformationLoss:
+    def test_zero_for_identity(self, dataset):
+        assert information_loss(dataset, dataset) == pytest.approx(0.0)
+
+    def test_one_for_total_destruction(self, dataset):
+        destroyed = TrajectoryDataset(
+            Trajectory(t.object_id, [Point(1e7, 1e7, 0.0)]) for t in dataset
+        )
+        assert information_loss(dataset, destroyed) == pytest.approx(1.0)
+
+    def test_small_perturbation_small_loss(self, dataset):
+        nudged = TrajectoryDataset(
+            Trajectory(t.object_id, [Point(p.x + 50, p.y, p.t) for p in t])
+            for t in dataset
+        )
+        loss = information_loss(dataset, nudged)
+        assert 0.0 < loss < 0.1
+
+    def test_deletion_costs_more_than_nudge(self, dataset):
+        nudged = TrajectoryDataset(
+            Trajectory(t.object_id, [Point(p.x + 50, p.y, p.t) for p in t])
+            for t in dataset
+        )
+        # Delete all but the first point of each trajectory.
+        gutted = TrajectoryDataset(
+            Trajectory(t.object_id, t.points[:1]) for t in dataset
+        )
+        assert information_loss(dataset, gutted) > information_loss(dataset, nudged)
+
+    def test_invalid_cap(self, dataset):
+        with pytest.raises(ValueError):
+            information_loss(dataset, dataset, cap=0.0)
+
+    def test_stride_sampling_close_to_full(self, dataset):
+        full = information_loss(dataset, dataset, sample_stride=1)
+        strided = information_loss(dataset, dataset, sample_stride=2)
+        assert full == pytest.approx(strided, abs=0.05)
+
+
+class TestJensenShannon:
+    def test_identical(self):
+        p = Counter({1: 5, 2: 5})
+        assert _jensen_shannon(p, p) == pytest.approx(0.0)
+
+    def test_disjoint_is_one(self):
+        assert _jensen_shannon(Counter({1: 5}), Counter({2: 5})) == pytest.approx(1.0)
+
+    def test_empty_cases(self):
+        assert _jensen_shannon(Counter(), Counter()) == 0.0
+        assert _jensen_shannon(Counter({1: 1}), Counter()) == 1.0
+
+    def test_symmetric(self):
+        p = Counter({1: 3, 2: 7})
+        q = Counter({1: 6, 3: 4})
+        assert _jensen_shannon(p, q) == pytest.approx(_jensen_shannon(q, p))
+
+
+class TestDiameterError:
+    def test_zero_for_identity(self, dataset):
+        assert diameter_error(dataset, dataset) == pytest.approx(0.0)
+
+    def test_grows_with_shrinkage(self, dataset):
+        shrunk = TrajectoryDataset(
+            Trajectory(t.object_id, [Point(p.x / 10, p.y / 10, p.t) for p in t])
+            for t in dataset
+        )
+        assert diameter_error(dataset, shrunk) > 0.3
+
+
+class TestTripError:
+    def test_zero_for_identity(self, dataset):
+        assert trip_error(dataset, dataset) == pytest.approx(0.0)
+
+    def test_high_for_relocated_trips(self, dataset):
+        # Collapse all trips onto one corner cell.
+        relocated = TrajectoryDataset(
+            Trajectory(t.object_id, [Point(0.0, 0.0, p.t) for p in t])
+            for t in dataset
+        )
+        assert trip_error(dataset, relocated) > 0.2
+
+    def test_empty_dataset(self):
+        empty = TrajectoryDataset()
+        assert trip_error(empty, empty) == 0.0
+
+
+class TestPatterns:
+    def test_cell_sequence_collapses_duplicates(self):
+        t = traj("a", [(0, 0), (10, 10), (600, 0), (610, 10)])
+        assert len(cell_sequence(t, 500.0)) == 2
+
+    def test_mine_patterns_counts_support(self):
+        ds = TrajectoryDataset(
+            [
+                traj("a", [(0, 0), (600, 0), (1200, 0)]),
+                traj("b", [(0, 0), (600, 0), (1200, 0)]),
+                traj("c", [(0, 0), (600, 600)]),
+            ]
+        )
+        support = mine_patterns(ds, cell_size=500.0)
+        key = ((0, 0), (1, 0))
+        assert support[key] == 2
+
+    def test_top_patterns_deterministic(self, dataset):
+        assert top_patterns(dataset, n=10) == top_patterns(dataset, n=10)
+
+    def test_top_patterns_bounded(self, dataset):
+        assert len(top_patterns(dataset, n=3)) <= 3
+
+
+class TestFrequentPatternF1:
+    def test_identity_is_one(self, dataset):
+        assert frequent_pattern_f1(dataset, dataset) == pytest.approx(1.0)
+
+    def test_disjoint_is_zero(self, dataset):
+        moved = TrajectoryDataset(
+            Trajectory(t.object_id, [Point(p.x + 1e6, p.y + 1e6, p.t) for p in t])
+            for t in dataset
+        )
+        assert frequent_pattern_f1(dataset, moved) == pytest.approx(0.0)
+
+    def test_empty_both_sides(self):
+        a = TrajectoryDataset([traj("a", [(0, 0)])])  # too short for patterns
+        assert frequent_pattern_f1(a, a) == 1.0

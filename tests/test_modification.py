@@ -1,0 +1,291 @@
+"""Tests for intra-/inter-trajectory modification.
+
+The central invariant: after modification, the data *satisfies the
+perturbed frequency distributions* (that is what carries the DP
+guarantee to the published trajectories).
+"""
+
+import pytest
+
+from repro.core.global_mechanism import TFPerturbation
+from repro.core.local_mechanism import PFPerturbation
+from repro.core.modification import (
+    InterTrajectoryModifier,
+    IntraTrajectoryModifier,
+    make_index_factory,
+    search_knn,
+)
+from repro.index.hierarchical import HierarchicalGridIndex
+from repro.geo.geometry import BBox
+from repro.trajectory.model import Point, Trajectory, TrajectoryDataset
+
+
+def traj(object_id, coords):
+    return Trajectory(
+        object_id,
+        [Point(float(x), float(y), 60.0 * i) for i, (x, y) in enumerate(coords)],
+    )
+
+
+def pf_perturbation(object_id, original, perturbed):
+    return PFPerturbation(
+        object_id=object_id,
+        original=original,
+        perturbed=perturbed,
+        stage1_mean_noise=0.0,
+        epsilon=1.0,
+    )
+
+
+class TestMakeIndexFactory:
+    def test_backends(self):
+        box = BBox(0, 0, 100, 100)
+        for backend in ("linear", "uniform", "hierarchical"):
+            index = make_index_factory(backend)(box)
+            index.insert((0, 0), (1, 1))
+            assert len(index) == 1
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError):
+            make_index_factory("kd-forest")
+
+    def test_rtree_backend(self):
+        index = make_index_factory("rtree")(BBox(0, 0, 100, 100))
+        index.insert((0, 0), (1, 1))
+        assert len(index) == 1
+
+    def test_search_knn_dispatch(self):
+        box = BBox(0, 0, 100, 100)
+        hier = make_index_factory("hierarchical", levels=4)(box)
+        hier.insert((0, 0), (10, 0))
+        assert search_knn(hier, (5, 5), 1, "bottom_up_down")
+        linear = make_index_factory("linear")(box)
+        linear.insert((0, 0), (10, 0))
+        assert search_knn(linear, (5, 5), 1, "bottom_up_down")
+
+
+@pytest.mark.parametrize("backend", ["linear", "uniform", "hierarchical"])
+class TestIntraTrajectoryModifier:
+    def make(self, backend):
+        return IntraTrajectoryModifier(
+            make_index_factory(backend, levels=6, granularity=32)
+        )
+
+    def test_satisfies_perturbed_pf(self, backend):
+        trajectory = traj(
+            "a", [(0, 0), (10, 0), (0, 0), (20, 0), (0, 0), (30, 0), (40, 0)]
+        )
+        perturbation = pf_perturbation(
+            "a",
+            original={(0.0, 0.0): 3, (10.0, 0.0): 1},
+            perturbed={(0.0, 0.0): 1, (10.0, 0.0): 3},
+        )
+        modified, report = self.make(backend).apply(trajectory, perturbation)
+        pf = modified.point_frequencies()
+        assert pf[(0.0, 0.0)] == 1
+        assert pf[(10.0, 0.0)] == 3
+        assert report.deletions == 2
+        assert report.insertions == 2
+
+    def test_untouched_locations_preserved(self, backend):
+        trajectory = traj("a", [(0, 0), (10, 0), (20, 0), (30, 0)])
+        perturbation = pf_perturbation(
+            "a", original={(0.0, 0.0): 1}, perturbed={(0.0, 0.0): 0}
+        )
+        modified, _ = self.make(backend).apply(trajectory, perturbation)
+        pf = modified.point_frequencies()
+        for loc in [(10.0, 0.0), (20.0, 0.0), (30.0, 0.0)]:
+            assert pf[loc] == 1
+
+    def test_no_change_for_identity_perturbation(self, backend):
+        trajectory = traj("a", [(0, 0), (10, 0), (20, 0)])
+        perturbation = pf_perturbation(
+            "a", original={(0.0, 0.0): 1}, perturbed={(0.0, 0.0): 1}
+        )
+        modified, report = self.make(backend).apply(trajectory, perturbation)
+        assert [p.coord for p in modified] == [p.coord for p in trajectory]
+        assert report.utility_loss == 0.0
+
+    def test_insertions_choose_near_segments(self, backend):
+        # Target location (5, 1) is 1m from segment <(0,0),(10,0)> but
+        # far from the distant tail segments.
+        trajectory = traj(
+            "a", [(0, 0), (10, 0), (1000, 1000), (2000, 2000), (5, 1)]
+        )
+        perturbation = pf_perturbation(
+            "a", original={(5.0, 1.0): 1}, perturbed={(5.0, 1.0): 2}
+        )
+        modified, report = self.make(backend).apply(trajectory, perturbation)
+        assert modified.point_frequencies()[(5.0, 1.0)] == 2
+        assert report.utility_loss <= 2.0  # near-segment insertion
+
+    def test_empty_trajectory(self, backend):
+        perturbation = pf_perturbation("a", original={}, perturbed={})
+        modified, report = self.make(backend).apply(Trajectory("a"), perturbation)
+        assert len(modified) == 0
+        assert report.utility_loss == 0.0
+
+    def test_original_not_mutated(self, backend):
+        trajectory = traj("a", [(0, 0), (10, 0), (0, 0)])
+        perturbation = pf_perturbation(
+            "a", original={(0.0, 0.0): 2}, perturbed={(0.0, 0.0): 0}
+        )
+        self.make(backend).apply(trajectory, perturbation)
+        assert len(trajectory) == 3
+
+
+class TestInterTrajectoryModifier:
+    def make_dataset(self):
+        return TrajectoryDataset(
+            [
+                traj("a", [(0, 0), (10, 0), (20, 0), (30, 0)]),
+                traj("b", [(0, 100), (10, 100), (20, 100)]),
+                traj("c", [(0, 200), (10, 200), (20, 200), (10, 200)]),
+                traj("d", [(5, 0), (15, 0), (25, 0)]),
+            ]
+        )
+
+    def make(self):
+        return InterTrajectoryModifier(make_index_factory("hierarchical", levels=6))
+
+    def test_tf_increase_inserts_into_nearest_missing_trajectories(self):
+        dataset = self.make_dataset()
+        loc = (10.0, 0.0)  # present only in trajectory a
+        perturbation = TFPerturbation(
+            original={loc: 1}, perturbed={loc: 3}, epsilon=1.0
+        )
+        modified, report = self.make().apply(dataset, perturbation)
+        tf = modified.trajectory_frequencies()
+        assert tf[loc] == 3
+        assert report.insertions == 2
+        # Trajectory d runs along y=0 so it must be one of the targets;
+        # b (y=100) is the second nearest; far-away c (y=200) must lose.
+        assert modified.by_id("d").point_frequencies()[loc] >= 1
+        assert modified.by_id("c").point_frequencies()[loc] == 0
+
+    def test_tf_decrease_removes_all_occurrences(self):
+        dataset = TrajectoryDataset(
+            [
+                traj("a", [(0, 0), (50, 50), (0, 0), (60, 60)]),
+                traj("b", [(0, 0), (70, 70)]),
+                traj("c", [(80, 80), (0, 0), (90, 90)]),
+            ]
+        )
+        loc = (0.0, 0.0)
+        perturbation = TFPerturbation(
+            original={loc: 3}, perturbed={loc: 1}, epsilon=1.0
+        )
+        modified, report = self.make().apply(dataset, perturbation)
+        tf = modified.trajectory_frequencies()
+        assert tf[loc] == 1
+        # The remaining trajectory keeps *all* its occurrences.
+        keeper = [t for t in modified if t.point_frequencies()[loc] > 0]
+        assert len(keeper) == 1
+
+    def test_identity_perturbation_changes_nothing(self):
+        dataset = self.make_dataset()
+        loc = (10.0, 0.0)
+        perturbation = TFPerturbation(
+            original={loc: 1}, perturbed={loc: 1}, epsilon=1.0
+        )
+        modified, report = self.make().apply(dataset, perturbation)
+        assert report.utility_loss == 0.0
+        for original, new in zip(dataset, modified):
+            assert [p.coord for p in original] == [p.coord for p in new]
+
+    def test_unrealisable_increase_reported(self):
+        dataset = TrajectoryDataset([traj("a", [(0, 0), (10, 0)])])
+        loc = (0.0, 0.0)
+        # Asking TF=2 with only one trajectory (which already contains it).
+        perturbation = TFPerturbation(
+            original={loc: 1}, perturbed={loc: 2}, epsilon=1.0
+        )
+        _, report = self.make().apply(dataset, perturbation)
+        assert report.unrealised >= 1
+
+    def test_multiple_locations_processed(self):
+        dataset = self.make_dataset()
+        loc_up = (10.0, 100.0)  # in b only
+        loc_down = (10.0, 200.0)  # in c only
+        perturbation = TFPerturbation(
+            original={loc_up: 1, loc_down: 1},
+            perturbed={loc_up: 2, loc_down: 0},
+            epsilon=1.0,
+        )
+        modified, _ = self.make().apply(dataset, perturbation)
+        tf = modified.trajectory_frequencies()
+        assert tf[loc_up] == 2
+        assert tf.get(loc_down, 0) == 0
+
+    def test_empty_dataset(self):
+        perturbation = TFPerturbation(original={}, perturbed={}, epsilon=1.0)
+        modified, report = self.make().apply(TrajectoryDataset(), perturbation)
+        assert len(modified) == 0
+        assert report.utility_loss == 0.0
+
+    def test_original_not_mutated(self):
+        dataset = self.make_dataset()
+        loc = (10.0, 0.0)
+        perturbation = TFPerturbation(
+            original={loc: 1}, perturbed={loc: 0}, epsilon=1.0
+        )
+        self.make().apply(dataset, perturbation)
+        assert dataset.by_id("a").point_frequencies()[loc] == 1
+
+
+class TestBBoxPrunedSelection:
+    """The paper's future-work optimisation must match the index path."""
+
+    def make_dataset(self, seed=0):
+        import random
+
+        rng = random.Random(seed)
+        trajectories = []
+        for i in range(12):
+            cx = rng.uniform(0, 5000)
+            cy = rng.uniform(0, 5000)
+            coords = [
+                (cx + rng.uniform(-400, 400), cy + rng.uniform(-400, 400))
+                for _ in range(8)
+            ]
+            trajectories.append(traj(f"t{i}", coords))
+        return TrajectoryDataset(trajectories)
+
+    def make(self, selection):
+        return InterTrajectoryModifier(
+            make_index_factory("hierarchical", levels=7),
+            trajectory_selection=selection,
+        )
+
+    def test_rejects_unknown_selection(self):
+        with pytest.raises(ValueError):
+            InterTrajectoryModifier(trajectory_selection="oracle")
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_bbox_matches_index_selection_cost(self, seed):
+        """Both selection strategies realise the same minimum total
+        insertion cost (selected trajectories may differ on ties)."""
+        loc = (2500.0, 2500.0)
+        perturbation = TFPerturbation(
+            original={loc: 0}, perturbed={loc: 3}, epsilon=1.0
+        )
+        results = {}
+        for selection in ("index", "bbox"):
+            dataset = self.make_dataset(seed)
+            modified, report = self.make(selection).apply(dataset, perturbation)
+            tf = modified.trajectory_frequencies()
+            assert tf[loc] == 3, selection
+            results[selection] = report.utility_loss
+        assert results["bbox"] == pytest.approx(results["index"], rel=1e-6)
+
+    def test_bbox_decreases_work_for_clustered_data(self):
+        """With most trajectories far away, the pruning path evaluates
+        only a handful of exact nearest-segment scans."""
+        dataset = self.make_dataset(3)
+        loc = (0.0, 0.0)
+        perturbation = TFPerturbation(
+            original={loc: 0}, perturbed={loc: 2}, epsilon=1.0
+        )
+        modified, report = self.make("bbox").apply(dataset, perturbation)
+        assert modified.trajectory_frequencies()[loc] == 2
+        assert report.unrealised == 0

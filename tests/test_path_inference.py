@@ -1,0 +1,107 @@
+"""Tests for the path-inference recovery attack."""
+
+import pytest
+
+from repro.attacks.path_inference import PathInferenceAttack
+from repro.datagen.generator import FleetConfig, generate_fleet
+from repro.datagen.road_network import build_road_network
+from repro.metrics.recovery import score_recovery
+from repro.trajectory.model import Point, Trajectory, TrajectoryDataset
+
+
+@pytest.fixture(scope="module")
+def network():
+    return build_road_network(rows=12, cols=12, spacing=600.0, seed=4)
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return generate_fleet(
+        FleetConfig(n_objects=5, points_per_trajectory=60, rows=12, cols=12, seed=51)
+    )
+
+
+class TestConfiguration:
+    def test_rejects_bad_params(self, network):
+        with pytest.raises(ValueError):
+            PathInferenceAttack(network, snap_radius=0.0)
+        with pytest.raises(ValueError):
+            PathInferenceAttack(network, max_leg_factor=0.5)
+
+
+class TestInference:
+    def test_recovers_clean_route(self, network):
+        path = network.shortest_path(0, 143)
+        coords = network.route_points(path, step=600.0)
+        trajectory = Trajectory(
+            "probe", [Point(x, y, 60.0 * i) for i, (x, y) in enumerate(coords)]
+        )
+        result = PathInferenceAttack(network).infer(trajectory)
+        truth = set()
+        for i in range(len(path) - 1):
+            u, v = path[i], path[i + 1]
+            truth.add((u, v) if u < v else (v, u))
+        recovered = set(result.edge_keys)
+        assert len(truth & recovered) / len(truth) > 0.8
+
+    def test_far_samples_become_gaps(self, network):
+        points = [
+            Point(*network.node_coord(0), 0.0),
+            Point(1e7, 1e7, 60.0),
+            Point(*network.node_coord(1), 120.0),
+        ]
+        result = PathInferenceAttack(network).infer(Trajectory("x", points))
+        assert result.candidates[1] is None
+        assert result.matched_fraction == pytest.approx(2 / 3)
+
+    def test_implausible_detours_rejected(self, network):
+        """A leg whose network route is much longer than the straight
+        line is treated as a gap rather than hallucinated."""
+        attack = PathInferenceAttack(network, max_leg_factor=1.0)
+        a = network.node_coord(0)
+        b = network.node_coord(143)
+        points = [Point(*a, 0.0), Point(*b, 60.0)]
+        result = attack.infer(Trajectory("x", points))
+        # Route/straight ratio on a jittered grid always exceeds 1.0
+        # for diagonal trips, so nothing should be inferred.
+        assert result.edge_keys == []
+
+    def test_empty_trajectory(self, network):
+        result = PathInferenceAttack(network).infer(Trajectory("x"))
+        assert result.edge_keys == []
+
+    def test_truncation(self, network, fleet):
+        attack = PathInferenceAttack(network, max_points_per_trajectory=10)
+        result = attack.infer(fleet.dataset[0])
+        assert len(result.candidates) == 10
+
+
+class TestDatasetRecovery:
+    def test_scores_against_ground_truth(self, fleet):
+        attack = PathInferenceAttack(fleet.network)
+        output = attack.run(fleet.dataset)
+        metrics = score_recovery(
+            fleet.network, fleet.dataset, fleet.routes, output
+        )
+        assert metrics.recall > 0.5
+        assert metrics.precision > 0.5
+        assert metrics.accuracy > 0.5
+
+    def test_comparable_to_hmm_on_clean_data(self, fleet):
+        """On unperturbed data, greedy inference approaches the HMM —
+        the reason the paper treats both as viable recovery attacks."""
+        from repro.attacks.recovery import RecoveryAttack
+
+        greedy = score_recovery(
+            fleet.network,
+            fleet.dataset,
+            fleet.routes,
+            PathInferenceAttack(fleet.network).run(fleet.dataset),
+        )
+        hmm = score_recovery(
+            fleet.network,
+            fleet.dataset,
+            fleet.routes,
+            RecoveryAttack(fleet.network).run(fleet.dataset),
+        )
+        assert greedy.f_score >= hmm.f_score - 0.25

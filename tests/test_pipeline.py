@@ -1,0 +1,185 @@
+"""Integration tests for the PureG / PureL / GL anonymizers."""
+
+import pytest
+
+from repro.core.pipeline import GL, FrequencyAnonymizer, PureG, PureL
+from repro.datagen.generator import FleetConfig, generate_fleet
+from repro.trajectory.model import TrajectoryDataset
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return generate_fleet(
+        FleetConfig(n_objects=15, points_per_trajectory=80, rows=12, cols=12, seed=3)
+    )
+
+
+class TestConfiguration:
+    def test_requires_at_least_one_mechanism(self):
+        with pytest.raises(ValueError):
+            FrequencyAnonymizer(epsilon_global=None, epsilon_local=None)
+
+    def test_epsilon_composition(self):
+        anonymizer = FrequencyAnonymizer(epsilon_global=0.3, epsilon_local=0.7)
+        assert anonymizer.epsilon == pytest.approx(1.0)
+
+    def test_gl_splits_evenly(self):
+        gl = GL(epsilon=2.0, seed=0)
+        assert gl.epsilon_global == pytest.approx(1.0)
+        assert gl.epsilon_local == pytest.approx(1.0)
+
+    def test_pure_variants(self):
+        assert PureG(epsilon=0.5).epsilon == pytest.approx(0.5)
+        assert PureL(epsilon=0.5).epsilon == pytest.approx(0.5)
+
+
+class TestAnonymization:
+    def test_pureg_changes_tf_only_modestly(self, fleet):
+        anonymizer = PureG(epsilon=0.5, signature_size=3, seed=1)
+        result = anonymizer.anonymize(fleet.dataset)
+        assert len(result) == len(fleet.dataset)
+        report = anonymizer.last_report
+        assert report is not None
+        assert report.tf_perturbation is not None
+        assert report.local_report is None
+        # The realised TF must match the perturbed target for every
+        # location where realisation was possible.
+        tf = result.trajectory_frequencies()
+        unrealised = report.global_report.unrealised
+        mismatches = sum(
+            1
+            for loc, target in report.tf_perturbation.perturbed.items()
+            if tf.get(loc, 0) != target
+        )
+        assert mismatches <= unrealised
+
+    def test_purel_satisfies_perturbed_pf(self, fleet):
+        anonymizer = PureL(epsilon=0.5, signature_size=3, seed=2)
+        result = anonymizer.anonymize(fleet.dataset)
+        report = anonymizer.last_report
+        assert report.pf_perturbations is not None
+        assert report.global_report is None
+        for trajectory in result:
+            perturbation = report.pf_perturbations[trajectory.object_id]
+            pf = trajectory.point_frequencies()
+            for loc, target in perturbation.perturbed.items():
+                assert pf.get(loc, 0) == target, (trajectory.object_id, loc)
+
+    def test_gl_runs_both_stages(self, fleet):
+        anonymizer = GL(epsilon=1.0, signature_size=3, seed=3)
+        result = anonymizer.anonymize(fleet.dataset)
+        report = anonymizer.last_report
+        assert report.global_report is not None
+        assert report.local_report is not None
+        assert report.utility_loss >= 0.0
+        assert len(result) == len(fleet.dataset)
+        assert [t.object_id for t in result] == [t.object_id for t in fleet.dataset]
+
+    def test_budget_ledger_matches_stages(self, fleet):
+        anonymizer = GL(epsilon=1.0, signature_size=3, seed=4)
+        anonymizer.anonymize(fleet.dataset)
+        ledger = anonymizer.last_report.budget_ledger
+        assert len(ledger) == 2
+        assert sum(eps for _, eps in ledger) == pytest.approx(1.0)
+
+    def test_input_never_mutated(self, fleet):
+        snapshot = [
+            [p.coord for p in trajectory] for trajectory in fleet.dataset
+        ]
+        GL(epsilon=1.0, signature_size=3, seed=5).anonymize(fleet.dataset)
+        for trajectory, coords in zip(fleet.dataset, snapshot):
+            assert [p.coord for p in trajectory] == coords
+
+    def test_deterministic_for_seed(self, fleet):
+        a = GL(epsilon=1.0, signature_size=3, seed=6).anonymize(fleet.dataset)
+        b = GL(epsilon=1.0, signature_size=3, seed=6).anonymize(fleet.dataset)
+        for ta, tb in zip(a, b):
+            assert [p.coord for p in ta] == [p.coord for p in tb]
+
+    def test_different_seeds_differ(self, fleet):
+        a = GL(epsilon=1.0, signature_size=3, seed=7).anonymize(fleet.dataset)
+        b = GL(epsilon=1.0, signature_size=3, seed=8).anonymize(fleet.dataset)
+        assert any(
+            [p.coord for p in ta] != [p.coord for p in tb] for ta, tb in zip(a, b)
+        )
+
+    def test_composition_order_exchangeable(self, fleet):
+        """Both orders must run cleanly and produce valid datasets."""
+        lg = FrequencyAnonymizer(
+            epsilon_global=0.5, epsilon_local=0.5, signature_size=3,
+            global_first=False, seed=9,
+        )
+        result = lg.anonymize(fleet.dataset)
+        assert len(result) == len(fleet.dataset)
+        assert lg.last_report.global_report is not None
+        assert lg.last_report.local_report is not None
+
+    def test_signature_frequencies_reduced_on_average(self, fleet):
+        """The headline behaviour: top signature locations lose occurrences."""
+        from repro.core.signature import SignatureExtractor
+
+        extractor = SignatureExtractor(m=3)
+        index = extractor.extract(fleet.dataset)
+        anonymizer = PureL(epsilon=1.0, signature_size=3, seed=10)
+        result = anonymizer.anonymize(fleet.dataset)
+        drop = 0
+        total = 0
+        for trajectory in fleet.dataset:
+            modified = result.by_id(trajectory.object_id)
+            pf_before = trajectory.point_frequencies()
+            pf_after = modified.point_frequencies()
+            top = index.signatures[trajectory.object_id][0]
+            total += pf_before[top.loc]
+            drop += pf_before[top.loc] - pf_after.get(top.loc, 0)
+        assert drop / total > 0.5  # most signature mass removed
+
+    def test_cardinality_roughly_preserved(self, fleet):
+        """Stage 2 keeps the dataset size in the same ballpark."""
+        anonymizer = PureL(epsilon=1.0, signature_size=3, seed=11)
+        result = anonymizer.anonymize(fleet.dataset)
+        before = fleet.dataset.total_points()
+        after = result.total_points()
+        assert after > before * 0.7
+        assert after < before * 1.3
+
+    def test_report_serialisation(self, fleet):
+        import json
+
+        anonymizer = GL(epsilon=1.0, signature_size=3, seed=13)
+        anonymizer.anonymize(fleet.dataset)
+        summary = anonymizer.last_report.to_dict()
+        # Must be valid JSON with the advertised structure.
+        encoded = json.dumps(summary)
+        decoded = json.loads(encoded)
+        assert decoded["epsilon_total"] == pytest.approx(1.0)
+        assert len(decoded["budget_ledger"]) == 2
+        assert decoded["global"]["insertions"] >= 0
+        assert decoded["local"]["deletions"] >= 0
+        assert decoded["tf_locations_perturbed"] > 0
+        assert decoded["trajectories_locally_perturbed"] == len(fleet.dataset)
+
+    def test_bbox_selection_pipeline(self, fleet):
+        anonymizer = PureG(
+            epsilon=0.5,
+            signature_size=3,
+            trajectory_selection="bbox",
+            seed=14,
+        )
+        result = anonymizer.anonymize(fleet.dataset)
+        assert len(result) == len(fleet.dataset)
+
+    def test_works_with_all_backends(self, fleet):
+        small = TrajectoryDataset(
+            [t.copy() for t in list(fleet.dataset)[:5]]
+        )
+        for backend in ("linear", "uniform", "hierarchical"):
+            anonymizer = GL(
+                epsilon=1.0,
+                signature_size=2,
+                index_backend=backend,
+                granularity=64,
+                levels=7,
+                seed=12,
+            )
+            result = anonymizer.anonymize(small)
+            assert len(result) == 5

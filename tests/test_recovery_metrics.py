@@ -1,0 +1,126 @@
+"""Direct unit tests for route-based recovery scoring."""
+
+import pytest
+
+from repro.attacks.hmm import MatchResult
+from repro.attacks.recovery import RecoveryOutput
+from repro.datagen.road_network import RoadNetwork
+from repro.metrics.recovery import RecoveryMetrics, score_recovery
+from repro.trajectory.model import Point, Trajectory, TrajectoryDataset
+
+
+@pytest.fixture
+def line_network():
+    """Five nodes on a line, 100 m apart: edges (0,1),(1,2),(2,3),(3,4)."""
+    coords = [(i * 100.0, 0.0) for i in range(5)]
+    edges = [(i, i + 1) for i in range(4)]
+    return RoadNetwork(coords, edges)
+
+
+def output_with(edge_keys_list):
+    output = RecoveryOutput()
+    for keys in edge_keys_list:
+        output.results.append(MatchResult(candidates=[], edge_keys=keys))
+    return output
+
+
+def one_trajectory_dataset(coords=((0, 0), (400, 0))):
+    return TrajectoryDataset(
+        [Trajectory("a", [Point(float(x), float(y), 60.0 * i) for i, (x, y) in enumerate(coords)])]
+    )
+
+
+class TestRouteScores:
+    def test_perfect_recovery(self, line_network):
+        truth = {"a": [(0, 1), (1, 2), (2, 3), (3, 4)]}
+        recovery = output_with([[(0, 1), (1, 2), (2, 3), (3, 4)]])
+        metrics = score_recovery(
+            line_network, one_trajectory_dataset(), truth, recovery
+        )
+        assert metrics.precision == pytest.approx(1.0)
+        assert metrics.recall == pytest.approx(1.0)
+        assert metrics.f_score == pytest.approx(1.0)
+        assert metrics.rmf == pytest.approx(0.0)
+        assert metrics.accuracy == pytest.approx(1.0)
+
+    def test_half_recovered(self, line_network):
+        truth = {"a": [(0, 1), (1, 2), (2, 3), (3, 4)]}
+        recovery = output_with([[(0, 1), (1, 2)]])
+        metrics = score_recovery(
+            line_network, one_trajectory_dataset(), truth, recovery
+        )
+        assert metrics.precision == pytest.approx(1.0)
+        assert metrics.recall == pytest.approx(0.5)
+        assert metrics.f_score == pytest.approx(2 / 3)
+        assert metrics.rmf == pytest.approx(0.5)  # 200 m missed / 400 m
+
+    def test_hallucinated_detour_raises_rmf(self, line_network):
+        """Recovered = truth + wrong edges: precision drops, RMF grows."""
+        truth = {"a": [(0, 1), (1, 2)]}
+        recovery = output_with([[(0, 1), (1, 2), (2, 3), (3, 4)]])
+        metrics = score_recovery(
+            line_network,
+            one_trajectory_dataset(coords=((0, 0), (200, 0))),
+            truth,
+            recovery,
+        )
+        assert metrics.recall == pytest.approx(1.0)
+        assert metrics.precision == pytest.approx(0.5)
+        assert metrics.rmf == pytest.approx(1.0)  # 200 m added / 200 m truth
+
+    def test_rmf_can_exceed_one(self, line_network):
+        """The paper notes RMF > 1 for its models — the metric allows it."""
+        truth = {"a": [(0, 1)]}
+        recovery = output_with([[(1, 2), (2, 3), (3, 4)]])
+        metrics = score_recovery(
+            line_network,
+            one_trajectory_dataset(coords=((0, 0), (100, 0))),
+            truth,
+            recovery,
+        )
+        assert metrics.rmf == pytest.approx(4.0)  # (300 added + 100 missed)/100
+
+    def test_empty_recovery(self, line_network):
+        truth = {"a": [(0, 1), (1, 2)]}
+        recovery = output_with([[]])
+        metrics = score_recovery(
+            line_network, one_trajectory_dataset(), truth, recovery
+        )
+        assert metrics.precision == 0.0
+        assert metrics.recall == 0.0
+        assert metrics.f_score == 0.0
+        assert metrics.accuracy == 0.0
+
+    def test_point_accuracy_tolerance(self, line_network):
+        truth = {"a": [(0, 1)]}
+        # Original samples 50 m off the recovered edge.
+        dataset = one_trajectory_dataset(coords=((0, 50), (100, 50)))
+        recovery = output_with([[(0, 1)]])
+        tight = score_recovery(line_network, dataset, truth, recovery, tolerance=10.0)
+        loose = score_recovery(line_network, dataset, truth, recovery, tolerance=75.0)
+        assert tight.accuracy == pytest.approx(0.0)
+        assert loose.accuracy == pytest.approx(1.0)
+
+    def test_misaligned_sizes_rejected(self, line_network):
+        with pytest.raises(ValueError):
+            score_recovery(
+                line_network, one_trajectory_dataset(), {}, output_with([])
+            )
+
+    def test_averages_across_trajectories(self, line_network):
+        dataset = TrajectoryDataset(
+            [
+                Trajectory("a", [Point(0, 0, 0.0), Point(100, 0, 60.0)]),
+                Trajectory("b", [Point(200, 0, 0.0), Point(300, 0, 60.0)]),
+            ]
+        )
+        truth = {"a": [(0, 1)], "b": [(2, 3)]}
+        recovery = output_with([[(0, 1)], []])  # perfect + nothing
+        metrics = score_recovery(line_network, dataset, truth, recovery)
+        assert metrics.recall == pytest.approx(0.5)
+        assert metrics.f_score == pytest.approx(0.5)
+
+    def test_metrics_dataclass_fields(self):
+        metrics = RecoveryMetrics(1.0, 0.5, 0.66, 0.5, 0.9)
+        assert metrics.precision == 1.0
+        assert metrics.rmf == 0.5

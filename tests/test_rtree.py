@@ -1,0 +1,120 @@
+"""Tests for the STR-packed R-tree index."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geo.geometry import BBox
+from repro.index.rtree import RTreeIndex
+from repro.index.search import linear_knn
+
+BOX = BBox(0.0, 0.0, 1000.0, 1000.0)
+
+
+def random_segments(n, seed=0):
+    rng = random.Random(seed)
+    segments = []
+    for _ in range(n):
+        x = rng.uniform(0, 1000)
+        y = rng.uniform(0, 1000)
+        segments.append(((x, y), (x + rng.uniform(-80, 80), y + rng.uniform(-80, 80))))
+    return segments
+
+
+class TestConfiguration:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            RTreeIndex(leaf_capacity=1)
+        with pytest.raises(ValueError):
+            RTreeIndex(rebuild_fraction=0.0)
+
+
+class TestStructure:
+    def test_insert_remove_len(self):
+        index = RTreeIndex()
+        sid = index.insert((0, 0), (10, 10), "t")
+        assert len(index) == 1
+        assert index.segment(sid).owner == "t"
+        index.remove(sid)
+        assert len(index) == 0
+
+    def test_remove_missing(self):
+        with pytest.raises(KeyError):
+            RTreeIndex().remove(7)
+
+    def test_bulk_insert_triggers_packing(self):
+        index = RTreeIndex(leaf_capacity=4)
+        for a, b in random_segments(300, seed=1):
+            index.insert(a, b)
+        assert index.tree_height >= 2  # a real tree, not just a buffer
+
+    def test_rebuild_after_mass_removal(self):
+        index = RTreeIndex(leaf_capacity=4)
+        sids = [index.insert(a, b) for a, b in random_segments(300, seed=2)]
+        for sid in sids[:250]:
+            index.remove(sid)
+        assert len(index) == 50
+        # Remaining segments must still be searchable.
+        assert len(index.knn((500, 500), 10)) == 10
+
+
+class TestKnnCorrectness:
+    def test_matches_linear(self):
+        index = RTreeIndex(leaf_capacity=8)
+        registry = []
+        for a, b in random_segments(200, seed=3):
+            sid = index.insert(a, b)
+            registry.append(index.segment(sid))
+        for q in [(0, 0), (500, 500), (999, 1), (-100, 1200)]:
+            got = [round(d, 6) for _, d in index.knn(q, 6)]
+            want = [round(d, 6) for _, d in linear_knn(registry, q, 6)]
+            assert got == want
+
+    def test_knn_empty(self):
+        assert RTreeIndex().knn((0, 0), 3) == []
+
+    def test_knn_with_tombstones(self):
+        index = RTreeIndex(leaf_capacity=4)
+        sids = [index.insert(a, b) for a, b in random_segments(100, seed=4)]
+        # Remove the 10 nearest to the probe (some in-tree, some buffered).
+        q = (500.0, 500.0)
+        for sid, _ in index.knn(q, 10):
+            index.remove(sid)
+        remaining = [index.segment(sid) for sid, _ in index.knn(q, 1000)]
+        want = linear_knn(remaining, q, 5)
+        got = index.knn(q, 5)
+        assert [round(d, 6) for _, d in got] == [round(d, 6) for _, d in want]
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 9999),
+        n=st.integers(1, 80),
+        k=st.integers(1, 6),
+        qx=st.floats(-100, 1100, allow_nan=False),
+        qy=st.floats(-100, 1100, allow_nan=False),
+    )
+    def test_property_matches_linear(self, seed, n, k, qx, qy):
+        index = RTreeIndex(leaf_capacity=4)
+        registry = []
+        for a, b in random_segments(n, seed=seed):
+            sid = index.insert(a, b)
+            registry.append(index.segment(sid))
+        got = [round(d, 6) for _, d in index.knn((qx, qy), k)]
+        want = [round(d, 6) for _, d in linear_knn(registry, (qx, qy), k)]
+        assert got == want
+
+
+class TestPipelineIntegration:
+    def test_rtree_backend_in_pipeline(self):
+        from repro.core.pipeline import GL
+        from repro.datagen.generator import FleetConfig, generate_fleet
+
+        fleet = generate_fleet(
+            FleetConfig(n_objects=6, points_per_trajectory=50, rows=8, cols=8, seed=9)
+        )
+        anonymizer = GL(
+            epsilon=1.0, signature_size=2, index_backend="rtree", seed=3
+        )
+        result = anonymizer.anonymize(fleet.dataset)
+        assert len(result) == len(fleet.dataset)

@@ -1,0 +1,104 @@
+"""Tests for the SVG rendering module."""
+
+import pytest
+
+from repro.datagen.generator import FleetConfig, generate_fleet
+from repro.geo.geometry import BBox
+from repro.trajectory.model import Point, Trajectory, TrajectoryDataset
+from repro.viz.svg import PALETTE, SvgCanvas, render_comparison, render_fleet
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return generate_fleet(
+        FleetConfig(n_objects=4, points_per_trajectory=40, rows=8, cols=8, seed=2)
+    )
+
+
+def traj(coords, object_id="t"):
+    return Trajectory(
+        object_id,
+        [Point(float(x), float(y), 60.0 * i) for i, (x, y) in enumerate(coords)],
+    )
+
+
+class TestSvgCanvas:
+    def test_rejects_tiny_width(self):
+        with pytest.raises(ValueError):
+            SvgCanvas(BBox(0, 0, 100, 100), width=5)
+
+    def test_transform_flips_y(self):
+        canvas = SvgCanvas(BBox(0, 0, 100, 100), width=100, margin=0.0)
+        x_low, y_low = canvas.transform((0.0, 0.0))
+        x_high, y_high = canvas.transform((0.0, 100.0))
+        assert y_low > y_high  # south maps below north
+
+    def test_transform_corners_within_canvas(self):
+        canvas = SvgCanvas(BBox(0, 0, 200, 100), width=400, margin=10.0)
+        for corner in [(0, 0), (200, 0), (0, 100), (200, 100)]:
+            x, y = canvas.transform(corner)
+            assert 0 <= x <= canvas.width
+            assert 0 <= y <= canvas.height
+
+    def test_polyline_element(self):
+        canvas = SvgCanvas(BBox(0, 0, 10, 10), width=100)
+        canvas.polyline([(0, 0), (5, 5), (10, 10)], color="#123456")
+        svg = canvas.to_string()
+        assert "<polyline" in svg
+        assert "#123456" in svg
+
+    def test_polyline_single_point_noop(self):
+        canvas = SvgCanvas(BBox(0, 0, 10, 10), width=100)
+        canvas.polyline([(0, 0)])
+        assert "<polyline" not in canvas.to_string()
+
+    def test_circle_and_text(self):
+        canvas = SvgCanvas(BBox(0, 0, 10, 10), width=100)
+        canvas.circle((5, 5), radius=2.0, color="#ff0000")
+        canvas.text((5, 5), "home")
+        svg = canvas.to_string()
+        assert "<circle" in svg
+        assert ">home</text>" in svg
+
+    def test_valid_svg_structure(self):
+        canvas = SvgCanvas(BBox(0, 0, 10, 10), width=100)
+        canvas.line((0, 0), (10, 10))
+        svg = canvas.to_string()
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert 'xmlns="http://www.w3.org/2000/svg"' in svg
+
+    def test_save(self, tmp_path):
+        canvas = SvgCanvas(BBox(0, 0, 10, 10), width=100)
+        target = canvas.save(tmp_path / "out.svg")
+        assert target.exists()
+        assert target.read_text().startswith("<svg")
+
+    def test_draw_network_and_dataset(self, fleet):
+        canvas = SvgCanvas(fleet.network.bbox(), width=300)
+        canvas.draw_network(fleet.network)
+        canvas.draw_dataset(fleet.dataset)
+        svg = canvas.to_string()
+        assert svg.count("<line") == len(fleet.network.edges)
+        assert svg.count("<polyline") == len(fleet.dataset)
+
+
+class TestConvenienceRenders:
+    def test_render_fleet(self, fleet):
+        svg = render_fleet(fleet.dataset, network=fleet.network,
+                           markers=[(0.0, 0.0)])
+        assert "<svg" in svg
+        assert "<circle" in svg
+        assert svg.count("<polyline") == len(fleet.dataset)
+
+    def test_render_fleet_without_network(self, fleet):
+        svg = render_fleet(fleet.dataset)
+        assert "<line" not in svg
+
+    def test_render_comparison_two_colors(self):
+        a = traj([(0, 0), (100, 0), (200, 0)], "a")
+        b = traj([(0, 10), (100, 10), (200, 10)], "b")
+        svg = render_comparison(a, b)
+        assert PALETTE[0] in svg
+        assert PALETTE[1] in svg
+        assert svg.count("<polyline") == 2
