@@ -8,6 +8,7 @@ a wide margin and HG+ fastest among the hierarchical strategies.
 
 import pytest
 
+from repro.core.modification import index_extent
 from repro.experiments.fig5 import (
     _build_indexes,
     _query_points,
@@ -18,7 +19,7 @@ from repro.experiments.fig5 import (
 
 @pytest.fixture(scope="module")
 def indexed(config, fleet):
-    bbox = fleet.dataset.bbox().expand(10.0)
+    bbox = index_extent(fleet.dataset.bbox())
     linear, uniform, hierarchical, rtree = _build_indexes(fleet.dataset, bbox)
     queries = _query_points(fleet.dataset, config.signature_size, limit=60)
     return linear, uniform, hierarchical, rtree, queries

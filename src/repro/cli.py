@@ -69,6 +69,26 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=("top_down", "bottom_up", "bottom_up_down"),
         default="bottom_up_down",
     )
+    anonymize.add_argument(
+        "--engine",
+        choices=("serial", "batch"),
+        default="serial",
+        help="'batch' shards the local stage across a worker pool "
+        "(output is byte-identical to serial for the same seed)",
+    )
+    anonymize.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="pool size for --engine batch; 0 = one per CPU core",
+    )
+    anonymize.add_argument(
+        "--executor",
+        choices=("process", "thread", "serial"),
+        default="process",
+        help="worker pool kind for --engine batch",
+    )
 
     attack = sub.add_parser("attack", help="linkage attack between datasets")
     attack.add_argument("-i", "--original", required=True)
@@ -84,6 +104,13 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("target", choices=("table2", "fig4", "fig5"))
     experiment.add_argument(
         "--preset", choices=("smoke", "default", "large"), default="default"
+    )
+    experiment.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan the sweep across N worker processes (1 = serial)",
     )
     return parser
 
@@ -125,7 +152,15 @@ def _make_anonymizer(args: argparse.Namespace) -> FrequencyAnonymizer:
 def _cmd_anonymize(args: argparse.Namespace) -> int:
     dataset = read_csv(args.input)
     anonymizer = _make_anonymizer(args)
-    private = anonymizer.anonymize(dataset)
+    if args.engine == "batch":
+        from repro.engine import BatchAnonymizer
+
+        engine = BatchAnonymizer(
+            anonymizer, workers=args.workers, executor=args.executor
+        )
+        private = engine.anonymize(dataset)
+    else:
+        private = anonymizer.anonymize(dataset)
     write_csv(private, args.output)
     report = anonymizer.last_report
     print(f"anonymized {len(private)} trajectories with {args.model.upper()} "
@@ -166,7 +201,10 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         from repro.experiments.fig4 import main as experiment_main
     else:
         from repro.experiments.fig5 import main as experiment_main
-    experiment_main([args.preset])
+    argv = [args.preset]
+    if args.workers != 1:
+        argv.append(str(args.workers))
+    experiment_main(argv)
     return 0
 
 

@@ -19,8 +19,9 @@ strategies of Section IV-C2.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Iterator
 
 from repro.core.edits import EditableTrajectory
 from repro.core.global_mechanism import TFPerturbation
@@ -29,14 +30,32 @@ from repro.geo.geometry import BBox, Coord
 from repro.index.base import SegmentIndex
 from repro.index.hierarchical import HierarchicalGridIndex
 from repro.index.linear import LinearSegmentIndex
+from repro.index.search import iter_nearest_via_knn
 from repro.index.uniform import UniformGridIndex
 from repro.trajectory.model import LocationKey, Trajectory, TrajectoryDataset
 
 IndexFactory = Callable[[BBox], SegmentIndex]
 
 #: Margin added around bounding boxes so inserted points near the edge
-#: still fall inside the grid extent.
-_BBOX_MARGIN = 10.0
+#: still fall inside the grid extent, as a fraction of the bbox
+#: diagonal. A relative margin keeps grid cell resolution intact
+#: regardless of coordinate scale: a fixed absolute margin (the old
+#: behaviour was a flat 10.0) inflated a lat/lon-degree-scale extent
+#: ~1000x and collapsed every grid level onto the same few cells.
+_BBOX_MARGIN_FRACTION = 0.01
+
+#: Absolute floor so degenerate (point-like) bboxes still get a
+#: non-zero extent to grid over.
+_BBOX_MARGIN_FLOOR = 1e-6
+
+
+def index_extent(bbox: BBox) -> BBox:
+    """The grid extent used when indexing data bounded by ``bbox``."""
+    margin = max(
+        _BBOX_MARGIN_FRACTION * math.hypot(bbox.width, bbox.height),
+        _BBOX_MARGIN_FLOOR,
+    )
+    return bbox.expand(margin)
 
 
 def make_index_factory(
@@ -69,6 +88,18 @@ def search_knn(
     if isinstance(index, HierarchicalGridIndex):
         return index.knn(q, k, strategy=strategy)
     return index.knn(q, k)
+
+
+def iter_nearest(index: SegmentIndex, q: Coord) -> Iterator[tuple[int, float]]:
+    """Dispatch incremental nearest-segment iteration to the index.
+
+    Every bundled backend implements ``iter_nearest`` natively; unknown
+    third-party indexes fall back to restart-doubling over ``knn``.
+    """
+    native = getattr(index, "iter_nearest", None)
+    if native is not None:
+        return native(q)
+    return iter_nearest_via_knn(index, q)
 
 
 @dataclass(slots=True)
@@ -112,7 +143,7 @@ class IntraTrajectoryModifier:
         report = ModificationReport()
         if len(trajectory) == 0:
             return trajectory.copy(), report
-        bbox = trajectory.bbox().expand(_BBOX_MARGIN)
+        bbox = index_extent(trajectory.bbox())
         editable = EditableTrajectory(trajectory, self.index_factory(bbox))
 
         for loc, count in sorted(perturbation.decreases()):
@@ -164,6 +195,19 @@ class InterTrajectoryModifier:
       evaluate exact nearest-segment costs in bound order, stopping
       once the next bound exceeds the current Δl-th best cost. Both
       produce cost-equivalent selections.
+
+    ``candidate_source`` controls how segment candidates are obtained
+    for the ``"index"`` selection:
+
+    * ``"incremental"`` (default) — pull candidates lazily from the
+      index's resumable ``iter_nearest`` frontier, stopping the moment
+      Δl owners are found;
+    * ``"restart"`` — the original restart-scan: run ``knn`` with
+      ``k = 4Δl`` and re-run from scratch with ``k`` quadrupled until
+      enough owners appear. Kept as the baseline the engine benchmark
+      measures against. The two modes make cost-identical selections;
+      exact-distance ties at the ``k`` boundary may resolve to a
+      different (equally cheap) owner.
     """
 
     def __init__(
@@ -171,14 +215,20 @@ class InterTrajectoryModifier:
         index_factory: IndexFactory | None = None,
         strategy: str = "bottom_up_down",
         trajectory_selection: str = "index",
+        candidate_source: str = "incremental",
     ) -> None:
         if trajectory_selection not in ("index", "bbox"):
             raise ValueError(
                 f"unknown trajectory selection {trajectory_selection!r}"
             )
+        if candidate_source not in ("incremental", "restart"):
+            raise ValueError(
+                f"unknown candidate source {candidate_source!r}"
+            )
         self.index_factory = index_factory or make_index_factory()
         self.strategy = strategy
         self.trajectory_selection = trajectory_selection
+        self.candidate_source = candidate_source
 
     def apply(
         self, dataset: TrajectoryDataset, perturbation: TFPerturbation
@@ -187,7 +237,7 @@ class InterTrajectoryModifier:
         report = ModificationReport()
         if len(dataset) == 0:
             return dataset.copy(), report
-        shared_index = self.index_factory(dataset.bbox().expand(_BBOX_MARGIN))
+        shared_index = self.index_factory(index_extent(dataset.bbox()))
         editables = {
             trajectory.object_id: EditableTrajectory(trajectory, shared_index)
             for trajectory in dataset
@@ -252,7 +302,66 @@ class InterTrajectoryModifier:
             report.unrealised += delta
             return report
 
+        if self.candidate_source == "incremental":
+            chosen = self._select_incremental(shared_index, eligible, loc, delta)
+        else:
+            chosen = self._select_restart_scan(shared_index, eligible, loc, delta)
+
+        performed = 0
+        for owner, sid in chosen.items():
+            editable = editables[owner]
+            if not editable.node_for_segment(sid):
+                # The segment vanished through an earlier edit (cannot
+                # happen within one loc's batch, but guard anyway).
+                replacement = self._nearest_segment_of_owner(
+                    shared_index, loc, editable
+                )
+                if replacement is None:
+                    continue
+                sid = replacement
+            outcome = editable.insert_into_segment(loc, sid)
+            report.utility_loss += outcome.utility_loss
+            report.insertions += 1
+            performed += 1
+        report.unrealised += delta - performed
+        return report
+
+    def _select_incremental(
+        self,
+        shared_index: SegmentIndex,
+        eligible: set[str],
+        loc: LocationKey,
+        delta: int,
+    ) -> dict[str, int]:
+        """First ``delta`` distinct eligible owners, pulled lazily.
+
+        Consumes the index's resumable nearest-segment frontier and
+        stops as soon as enough owners are found — the search never
+        scans farther than the Δl-th selected trajectory's nearest
+        segment (Algorithm 3's pruning carried across candidates).
+        """
         chosen: dict[str, int] = {}  # object id -> best segment sid
+        for sid, _ in iter_nearest(shared_index, loc):
+            owner = shared_index.segment(sid).owner
+            if owner in eligible and owner not in chosen:
+                chosen[owner] = sid
+                if len(chosen) >= delta:
+                    break
+        return chosen
+
+    def _select_restart_scan(
+        self,
+        shared_index: SegmentIndex,
+        eligible: set[str],
+        loc: LocationKey,
+        delta: int,
+    ) -> dict[str, int]:
+        """The original restart-scan selection (benchmark baseline).
+
+        Re-runs the full kNN search with ``k`` quadrupled until
+        ``delta`` distinct eligible owners appear among the hits.
+        """
+        chosen: dict[str, int] = {}
         k = max(4 * delta, 16)
         while True:
             hits = search_knn(shared_index, loc, k, self.strategy)
@@ -265,25 +374,7 @@ class InterTrajectoryModifier:
             if len(chosen) >= delta or k >= len(shared_index):
                 break
             k = min(k * 4, max(len(shared_index), 1))
-
-        performed = 0
-        for owner, sid in chosen.items():
-            editable = editables[owner]
-            if not editable.node_for_segment(sid):
-                # The segment vanished through an earlier edit (cannot
-                # happen within one loc's batch, but guard anyway).
-                replacement = self._nearest_segment_of_owner(
-                    shared_index, loc, owner
-                )
-                if replacement is None:
-                    continue
-                sid = replacement
-            outcome = editable.insert_into_segment(loc, sid)
-            report.utility_loss += outcome.utility_loss
-            report.insertions += 1
-            performed += 1
-        report.unrealised += delta - performed
-        return report
+        return chosen
 
     def _insert_with_bbox_pruning(
         self,
@@ -329,14 +420,20 @@ class InterTrajectoryModifier:
         return report
 
     def _nearest_segment_of_owner(
-        self, shared_index: SegmentIndex, loc: LocationKey, owner: str
+        self, shared_index: SegmentIndex, loc: LocationKey, editable: EditableTrajectory
     ) -> int | None:
-        """The owner's nearest segment to ``loc``, or None if it has none."""
-        k = 16
-        while True:
-            for sid, _ in search_knn(shared_index, loc, k, self.strategy):
-                if shared_index.segment(sid).owner == owner:
-                    return sid
-            if k >= len(shared_index):
-                return None
-            k = min(k * 4, max(len(shared_index), 1))
+        """The owner's nearest *live* segment to ``loc``, or None.
+
+        Consumes the incremental frontier lazily and — unlike the old
+        restart-scan — verifies each hit against the editable's own
+        segment table: a stale sid that still matches the owner in the
+        shared index but no longer exists on the trajectory must not be
+        returned (inserting into it would raise).
+        """
+        for sid, _ in iter_nearest(shared_index, loc):
+            if (
+                shared_index.segment(sid).owner == editable.object_id
+                and editable.node_for_segment(sid)
+            ):
+                return sid
+        return None

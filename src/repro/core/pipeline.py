@@ -13,8 +13,11 @@ advertised budget.
 
 from __future__ import annotations
 
+import hashlib
+import math
 import random
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.core.global_mechanism import GlobalTFMechanism, TFPerturbation
 from repro.core.laplace import PrivacyAccountant
@@ -25,8 +28,39 @@ from repro.core.modification import (
     ModificationReport,
     make_index_factory,
 )
-from repro.core.signature import SignatureExtractor
-from repro.trajectory.model import TrajectoryDataset
+from repro.core.signature import SignatureExtractor, SignatureIndex
+from repro.trajectory.model import Trajectory, TrajectoryDataset
+
+
+def derive_seed(*tokens: object) -> int:
+    """A stable 64-bit seed derived from arbitrary tokens.
+
+    Hash-based (BLAKE2b) rather than arithmetic so distinct token
+    tuples give statistically independent streams, and stable across
+    processes/runs (unlike ``hash()``) — the property the batch engine
+    relies on to give every shard the same noise the serial path draws.
+    """
+    payload = "\x1f".join(str(token) for token in tokens).encode()
+    return int.from_bytes(hashlib.blake2b(payload, digest_size=8).digest(), "big")
+
+
+def local_stream_seed(base_seed: int, object_id: str) -> int:
+    """Seed of the per-trajectory noise stream of the local stage.
+
+    Keyed by object id, not by position, so any sharding of the dataset
+    reproduces exactly the serial draws.
+    """
+    return derive_seed(base_seed, "local", object_id)
+
+
+#: One per-trajectory result of the local stage:
+#: (object id, perturbation, modified trajectory, modification report).
+LocalResult = tuple[str, PFPerturbation, Trajectory, ModificationReport]
+
+#: Pluggable executor for the local stage: receives the dataset, its
+#: signature index, and the per-call base seed; returns one
+#: :data:`LocalResult` per trajectory *in dataset order*.
+LocalRunner = Callable[[TrajectoryDataset, SignatureIndex, int], list[LocalResult]]
 
 
 @dataclass(slots=True)
@@ -103,6 +137,11 @@ class FrequencyAnonymizer:
         exchangeable; the default applies global then local.
     seed:
         RNG seed for reproducible noise; ``None`` draws fresh entropy.
+        Repeated :meth:`anonymize` calls on one seeded instance draw
+        from *distinct* per-call streams (counter-mixed from the seed),
+        so anonymizing several datasets never silently reuses the same
+        noise; rebuilding the anonymizer with the same seed replays the
+        same call sequence exactly.
     """
 
     def __init__(
@@ -118,11 +157,25 @@ class FrequencyAnonymizer:
         global_first: bool = True,
         seed: int | None = None,
     ) -> None:
+        for name, value in (
+            ("epsilon_global", epsilon_global),
+            ("epsilon_local", epsilon_local),
+        ):
+            if value is not None and (math.isnan(value) or value < 0):
+                raise ValueError(
+                    f"{name} must be a non-negative privacy budget, got "
+                    f"{value!r}"
+                )
         if not epsilon_global and not epsilon_local:
             raise ValueError("at least one of the two mechanisms must be enabled")
         self.epsilon_global = epsilon_global or 0.0
         self.epsilon_local = epsilon_local or 0.0
         self.signature_size = signature_size
+        self.index_backend = index_backend
+        self.search_strategy = search_strategy
+        self.trajectory_selection = trajectory_selection
+        self.levels = levels
+        self.granularity = granularity
         self.global_first = global_first
         self.seed = seed
         self.extractor = SignatureExtractor(m=signature_size)
@@ -144,6 +197,34 @@ class FrequencyAnonymizer:
             else None
         )
         self.last_report: AnonymizationReport | None = None
+        #: How many anonymize() calls this instance has served; mixes
+        #: into each call's base seed so successive datasets get fresh
+        #: noise while the run as a whole stays reproducible.
+        self._call_count = 0
+        #: Engine hook: when set, executes the local stage instead of
+        #: the serial loop (see :class:`repro.engine.BatchAnonymizer`).
+        self._local_runner: LocalRunner | None = None
+
+    def config(self) -> dict:
+        """Constructor kwargs reproducing this configuration.
+
+        Everything here is picklable plain data, so the batch engine
+        can rebuild equivalent anonymizers inside worker processes
+        (the instance itself holds index-factory closures and cannot
+        cross a process boundary).
+        """
+        return {
+            "epsilon_global": self.epsilon_global or None,
+            "epsilon_local": self.epsilon_local or None,
+            "signature_size": self.signature_size,
+            "index_backend": self.index_backend,
+            "search_strategy": self.search_strategy,
+            "trajectory_selection": self.trajectory_selection,
+            "levels": self.levels,
+            "granularity": self.granularity,
+            "global_first": self.global_first,
+            "seed": self.seed,
+        }
 
     @property
     def epsilon(self) -> float:
@@ -155,8 +236,21 @@ class FrequencyAnonymizer:
 
         The input is never mutated. Details of the run are stored in
         :attr:`last_report`.
+
+        Noise streams: each call derives a base seed from ``(seed,
+        call index)``, and each stage (and each trajectory within the
+        local stage) derives its own sub-stream from that base. Two
+        calls on the same instance therefore use different noise, while
+        a fresh instance with the same seed replays the same call
+        sequence byte-for-byte — and the per-trajectory streams make
+        the local stage order- and shard-independent.
         """
-        rng = random.Random(self.seed)
+        call_index = self._call_count
+        self._call_count += 1
+        if self.seed is None:
+            base_seed = random.getrandbits(64)
+        else:
+            base_seed = derive_seed("run", self.seed, call_index)
         accountant = PrivacyAccountant(self.epsilon)
         report = AnonymizationReport(epsilon_total=self.epsilon)
 
@@ -164,9 +258,9 @@ class FrequencyAnonymizer:
         current = dataset
         for stage in stages:
             if stage == "global" and self._global is not None:
-                current = self._run_global(current, rng, accountant, report)
+                current = self._run_global(current, base_seed, accountant, report)
             elif stage == "local" and self._local is not None:
-                current = self._run_local(current, rng, accountant, report)
+                current = self._run_local(current, base_seed, accountant, report)
 
         report.budget_ledger = accountant.ledger()
         self.last_report = report
@@ -175,13 +269,14 @@ class FrequencyAnonymizer:
     def _run_global(
         self,
         dataset: TrajectoryDataset,
-        rng: random.Random,
+        base_seed: int,
         accountant: PrivacyAccountant,
         report: AnonymizationReport,
     ) -> TrajectoryDataset:
         accountant.spend("global TF randomization", self.epsilon_global)
         signature_index = self.extractor.extract(dataset)
         assert self._global is not None
+        rng = random.Random(derive_seed(base_seed, "global"))
         perturbation = self._global.perturb(
             signature_index.tf, len(dataset), rng
         )
@@ -193,27 +288,44 @@ class FrequencyAnonymizer:
     def _run_local(
         self,
         dataset: TrajectoryDataset,
-        rng: random.Random,
+        base_seed: int,
         accountant: PrivacyAccountant,
         report: AnonymizationReport,
     ) -> TrajectoryDataset:
         accountant.spend("local PF randomization", self.epsilon_local)
         signature_index = self.extractor.extract(dataset)
-        assert self._local is not None
+        runner = self._local_runner or self._run_local_serial
+        results = runner(dataset, signature_index, base_seed)
         perturbations: dict[str, PFPerturbation] = {}
         modified = []
         total = ModificationReport()
-        for trajectory in dataset:
-            perturbation = self._local.perturb_trajectory(
-                trajectory, signature_index, rng
-            )
-            perturbations[trajectory.object_id] = perturbation
-            new_trajectory, modification = self._intra.apply(trajectory, perturbation)
+        for object_id, perturbation, new_trajectory, modification in results:
+            perturbations[object_id] = perturbation
             total.merge(modification)
             modified.append(new_trajectory)
         report.pf_perturbations = perturbations
         report.local_report = total
         return TrajectoryDataset(modified)
+
+    def _run_local_serial(
+        self,
+        dataset: TrajectoryDataset,
+        signature_index: SignatureIndex,
+        base_seed: int,
+    ) -> list[LocalResult]:
+        """The in-process local stage; reference for any parallel runner."""
+        assert self._local is not None
+        results: list[LocalResult] = []
+        for trajectory in dataset:
+            rng = random.Random(local_stream_seed(base_seed, trajectory.object_id))
+            perturbation = self._local.perturb_trajectory(
+                trajectory, signature_index, rng
+            )
+            new_trajectory, modification = self._intra.apply(trajectory, perturbation)
+            results.append(
+                (trajectory.object_id, perturbation, new_trajectory, modification)
+            )
+        return results
 
 
 class PureG(FrequencyAnonymizer):

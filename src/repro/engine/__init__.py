@@ -1,0 +1,27 @@
+"""Batch anonymization engine.
+
+Two pieces built for the "as fast as the hardware allows" roadmap:
+
+* :class:`BatchAnonymizer` — shards the embarrassingly-parallel local
+  PF stage of a :class:`~repro.core.pipeline.FrequencyAnonymizer`
+  across a worker pool (and fans whole-dataset sweeps with
+  ``anonymize_many``), byte-identical to the serial path for the same
+  seed thanks to per-trajectory derived noise streams;
+* :func:`parallel_map` — the deterministic order-preserving pool
+  primitive the experiment drivers reuse for their sweeps.
+
+The other engine half — the incremental ``iter_nearest`` kNN frontier
+that removes the global stage's restart-scans — lives on the index
+backends themselves (see ``repro.index``) and is used by
+``InterTrajectoryModifier`` by default.
+"""
+
+from repro.engine.batch import BatchAnonymizer
+from repro.engine.pool import EXECUTOR_KINDS, parallel_map, resolve_workers
+
+__all__ = [
+    "BatchAnonymizer",
+    "EXECUTOR_KINDS",
+    "parallel_map",
+    "resolve_workers",
+]

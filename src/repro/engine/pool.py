@@ -1,0 +1,74 @@
+"""Worker-pool plumbing shared by the batch engine and the experiment
+drivers.
+
+One entry point, :func:`parallel_map`, with three executors:
+
+* ``"serial"`` — plain in-process map (also used whenever ``workers <= 1``
+  or there is at most one item);
+* ``"thread"`` — ``ThreadPoolExecutor``; no speedup for pure-Python CPU
+  work but useful for determinism testing and IO-bound stages;
+* ``"process"`` — ``ProcessPoolExecutor``; true parallelism, requires
+  picklable functions and payloads (module-level workers + plain data).
+
+Results always come back in input order, so a parallel run is a drop-in
+replacement for the serial loop. If the process pool cannot be created
+(sandboxes without fork, exhausted resources), the call degrades to the
+serial path rather than failing the run.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+EXECUTOR_KINDS = ("serial", "thread", "process")
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalise a worker-count request; ``None``/0 means "use all cores"."""
+    if workers is None or workers == 0:
+        import os
+
+        return os.cpu_count() or 1
+    if workers < 0:
+        raise ValueError(f"workers must be non-negative, got {workers}")
+    return workers
+
+
+def _make_executor(kind: str, workers: int) -> Executor | None:
+    """Build the requested executor, or None when pools are unavailable."""
+    cls = ThreadPoolExecutor if kind == "thread" else ProcessPoolExecutor
+    try:
+        return cls(max_workers=workers)
+    except (OSError, PermissionError, RuntimeError):
+        # No fork / threads in this environment; the serial path is
+        # always equivalent, only slower.
+        return None
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    workers: int = 1,
+    executor: str = "process",
+) -> list[R]:
+    """``[fn(item) for item in items]``, possibly across a worker pool.
+
+    Exceptions raised by ``fn`` propagate regardless of executor.
+    """
+    if executor not in EXECUTOR_KINDS:
+        raise ValueError(
+            f"unknown executor {executor!r}; choose from {EXECUTOR_KINDS}"
+        )
+    batch: Sequence[T] = list(items)
+    workers = resolve_workers(workers)
+    if workers <= 1 or len(batch) <= 1 or executor == "serial":
+        return [fn(item) for item in batch]
+    pool = _make_executor(executor, min(workers, len(batch)))
+    if pool is None:
+        return [fn(item) for item in batch]
+    with pool:
+        return list(pool.map(fn, batch))

@@ -15,7 +15,29 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-from repro.datagen.generator import FleetConfig
+from repro.datagen.generator import FleetConfig, generate_fleet
+
+#: Per-process memo for :func:`cached_fleet`, keyed by the config's
+#: repr (FleetConfig is a plain dataclass, not hashable). Bounded:
+#: evicted wholesale once it grows past a handful of shapes.
+_FLEET_CACHE: dict = {}
+_FLEET_CACHE_LIMIT = 8
+
+
+def cached_fleet(fleet_config: FleetConfig):
+    """Generate (or reuse) the deterministic fleet for ``fleet_config``.
+
+    Sweep jobs are self-contained so they can run in worker processes,
+    which means each regenerates its (seeded, hence identical) fleet;
+    this memo collapses that to one generation per process per config.
+    """
+    key = repr(fleet_config)
+    fleet = _FLEET_CACHE.get(key)
+    if fleet is None:
+        if len(_FLEET_CACHE) >= _FLEET_CACHE_LIMIT:
+            _FLEET_CACHE.clear()
+        fleet = _FLEET_CACHE[key] = generate_fleet(fleet_config)
+    return fleet
 
 
 @dataclass(slots=True)

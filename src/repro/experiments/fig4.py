@@ -4,15 +4,20 @@ Eight panels, each a metric-vs-ε series per model: LA_s, INF, DE, TE,
 FFP, route-based F-score, route-based RMF, point-based Accuracy.
 Invoke with::
 
-    python -m repro.experiments.fig4 [smoke|default|large]
+    python -m repro.experiments.fig4 [smoke|default|large] [workers]
+
+Each (ε, model) cell of the sweep is independent, so ``workers > 1``
+fans the grid across a process pool (``repro.engine``); results are
+identical to the serial sweep because every job reseeds from the
+config.
 """
 
 from __future__ import annotations
 
 import sys
 
-from repro.datagen.generator import generate_fleet
-from repro.experiments.config import ExperimentConfig
+from repro.engine.pool import parallel_map
+from repro.experiments.config import ExperimentConfig, cached_fleet
 from repro.experiments.evaluate import evaluate_method
 from repro.experiments.methods import build_our_models
 
@@ -22,30 +27,46 @@ DEFAULT_EPSILONS = (0.1, 0.5, 1.0, 2.0, 5.0, 10.0)
 #: The eight panels of Figure 4 (metric keys from evaluate_method).
 PANELS = ("LAs", "INF", "DE", "TE", "FFP", "F-score", "RMF", "Accuracy")
 
+MODELS = ("PureG", "PureL", "GL")
+
+
+def _sweep_job(
+    payload: tuple[ExperimentConfig, float, str]
+) -> tuple[float, str, dict[str, float | None]]:
+    """One (ε, model) cell; the job is self-contained (it derives its
+    fleet from the config) so it can run in a worker process, with the
+    per-process fleet memo avoiding repeated generation."""
+    config, epsilon, model = payload
+    fleet = cached_fleet(config.fleet)
+    swept = config.with_epsilon(epsilon)
+    anonymize = build_our_models(swept)[model]
+    anonymized = anonymize(fleet.dataset)
+    evaluation = evaluate_method(
+        fleet.dataset, anonymized, fleet, swept, synthetic=False
+    )
+    return epsilon, model, evaluation.values
+
 
 def run(
     config: ExperimentConfig | None = None,
     epsilons: tuple[float, ...] = DEFAULT_EPSILONS,
     verbose: bool = False,
+    workers: int = 1,
 ) -> dict[str, dict[str, list[float | None]]]:
     """``{panel: {model: [value per ε]}}`` for the three models."""
     config = config or ExperimentConfig.default()
-    fleet = generate_fleet(config.fleet)
+    jobs = [
+        (config, epsilon, model) for epsilon in epsilons for model in MODELS
+    ]
+    outcomes = parallel_map(_sweep_job, jobs, workers=workers)
     series: dict[str, dict[str, list[float | None]]] = {
-        panel: {model: [] for model in ("PureG", "PureL", "GL")}
-        for panel in PANELS
+        panel: {model: [] for model in MODELS} for panel in PANELS
     }
-    for epsilon in epsilons:
-        swept = config.with_epsilon(epsilon)
-        for model, anonymize in build_our_models(swept).items():
-            anonymized = anonymize(fleet.dataset)
-            evaluation = evaluate_method(
-                fleet.dataset, anonymized, fleet, swept, synthetic=False
-            )
-            for panel in PANELS:
-                series[panel][model].append(evaluation.values.get(panel))
-            if verbose:
-                print(f"  eps={epsilon:<5g} {model:<6s} done", file=sys.stderr)
+    for epsilon, model, values in outcomes:
+        for panel in PANELS:
+            series[panel][model].append(values.get(panel))
+        if verbose:
+            print(f"  eps={epsilon:<5g} {model:<6s} done", file=sys.stderr)
     return series
 
 
@@ -78,14 +99,18 @@ def format_series(
 def main(argv: list[str] | None = None) -> None:
     argv = sys.argv[1:] if argv is None else argv
     preset = argv[0] if argv else "default"
+    workers = int(argv[1]) if len(argv) > 1 else 1
     config = {
         "smoke": ExperimentConfig.smoke,
         "default": ExperimentConfig.default,
         "large": ExperimentConfig.large,
     }[preset]()
     epsilons = DEFAULT_EPSILONS if preset != "smoke" else (0.5, 1.0, 5.0)
-    print(f"Figure 4 reproduction — preset={preset}, eps sweep={epsilons}")
-    series = run(config, epsilons=epsilons, verbose=True)
+    print(
+        f"Figure 4 reproduction — preset={preset}, eps sweep={epsilons}, "
+        f"workers={workers}"
+    )
+    series = run(config, epsilons=epsilons, verbose=True, workers=workers)
     print(format_series(series, epsilons, charts=True))
 
 

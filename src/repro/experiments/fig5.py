@@ -14,7 +14,12 @@ strategy (the paper reports global at 90 %+ of total time).
 
 Invoke with::
 
-    python -m repro.experiments.fig5 [smoke|default|large]
+    python -m repro.experiments.fig5 [smoke|default|large] [workers]
+
+``workers > 1`` additionally times the batch engine's sharded local
+stage (``repro.engine.BatchAnonymizer``) next to the serial one —
+the timings panel is otherwise always measured serially, since pooling
+would distort the strategy comparison.
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ import sys
 import time
 from dataclasses import replace
 
+from repro.core.modification import index_extent
 from repro.core.pipeline import PureG, PureL
 from repro.core.signature import SignatureExtractor
 from repro.datagen.generator import generate_fleet
@@ -82,7 +88,7 @@ def search_timings(
     for size in sizes:
         fleet = generate_fleet(replace(config.fleet, n_objects=size))
         dataset = fleet.dataset
-        bbox = dataset.bbox().expand(10.0)
+        bbox = index_extent(dataset.bbox())
         linear, uniform, hierarchical, rtree = _build_indexes(dataset, bbox)
         queries = _query_points(dataset, config.signature_size)
 
@@ -119,10 +125,16 @@ def search_timings(
 
 
 def modification_timings(
-    config: ExperimentConfig, sizes: tuple[int, ...]
+    config: ExperimentConfig, sizes: tuple[int, ...], workers: int = 1
 ) -> dict[str, list[float]]:
-    """Right panel: local vs global modification wall-clock (HG+)."""
+    """Right panel: local vs global modification wall-clock (HG+).
+
+    With ``workers > 1``, a third row times the batch engine's sharded
+    local stage for comparison against the serial local row.
+    """
     timings: dict[str, list[float]] = {"Local": [], "Global": []}
+    if workers > 1:
+        timings["Local-batch"] = []
     for size in sizes:
         fleet = generate_fleet(replace(config.fleet, n_objects=size))
         started = time.perf_counter()
@@ -139,19 +151,34 @@ def modification_timings(
             seed=config.seed,
         ).anonymize(fleet.dataset)
         timings["Local"].append(time.perf_counter() - started)
+        if workers > 1:
+            from repro.engine import BatchAnonymizer
+
+            engine = BatchAnonymizer(
+                PureL(
+                    epsilon=config.epsilon / 2,
+                    signature_size=config.signature_size,
+                    seed=config.seed,
+                ),
+                workers=workers,
+            )
+            started = time.perf_counter()
+            engine.anonymize(fleet.dataset)
+            timings["Local-batch"].append(time.perf_counter() - started)
     return timings
 
 
 def run(
     config: ExperimentConfig | None = None,
     sizes: tuple[int, ...] = DEFAULT_SIZES,
+    workers: int = 1,
 ) -> dict[str, dict[str, list]]:
     config = config or ExperimentConfig.default()
     search, work = search_timings(config, sizes)
     return {
         "search": search,
         "search_work": work,
-        "modification": modification_timings(config, sizes),
+        "modification": modification_timings(config, sizes, workers=workers),
     }
 
 
@@ -194,14 +221,16 @@ def format_timings(
 def main(argv: list[str] | None = None) -> None:
     argv = sys.argv[1:] if argv is None else argv
     preset = argv[0] if argv else "default"
+    workers = int(argv[1]) if len(argv) > 1 else 1
     config = {
         "smoke": ExperimentConfig.smoke,
         "default": ExperimentConfig.default,
         "large": ExperimentConfig.large,
     }[preset]()
     sizes = SMOKE_SIZES if preset == "smoke" else DEFAULT_SIZES
-    print(f"Figure 5 reproduction — preset={preset}, sizes={sizes}")
-    results = run(config, sizes=sizes)
+    print(f"Figure 5 reproduction — preset={preset}, sizes={sizes}, "
+          f"workers={workers}")
+    results = run(config, sizes=sizes, workers=workers)
     print(format_timings(results, sizes))
 
 

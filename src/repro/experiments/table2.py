@@ -4,7 +4,11 @@
 and returns ``{method: {metric: value-or-None}}``; ``main`` prints the
 table in the paper's layout. Invoke with::
 
-    python -m repro.experiments.table2 [smoke|default|large]
+    python -m repro.experiments.table2 [smoke|default|large] [workers]
+
+Methods are independent of one another, so ``workers > 1`` fans the
+per-method jobs across a process pool (``repro.engine``) with results
+identical to the serial run.
 """
 
 from __future__ import annotations
@@ -12,20 +16,41 @@ from __future__ import annotations
 import sys
 import time
 
-from repro.datagen.generator import generate_fleet
-from repro.experiments.config import ExperimentConfig
+from repro.engine.pool import parallel_map
+from repro.experiments.config import ExperimentConfig, cached_fleet
 from repro.experiments.evaluate import METRIC_COLUMNS, evaluate_method
 from repro.experiments.methods import SYNTHETIC_METHODS, build_methods
+
+
+def _method_job(
+    payload: tuple[ExperimentConfig, str]
+) -> tuple[str, dict[str, float | None], float]:
+    """One method evaluation; the job is self-contained (it derives its
+    fleet from the config) so it can run in a worker process, with the
+    per-process fleet memo avoiding repeated generation."""
+    config, name = payload
+    started = time.perf_counter()
+    fleet = cached_fleet(config.fleet)
+    anonymize = build_methods(config)[name]
+    anonymized = anonymize(fleet.dataset)
+    evaluation = evaluate_method(
+        fleet.dataset,
+        anonymized,
+        fleet,
+        config,
+        synthetic=name in SYNTHETIC_METHODS,
+    )
+    return name, evaluation.values, time.perf_counter() - started
 
 
 def run(
     config: ExperimentConfig | None = None,
     methods: list[str] | None = None,
     verbose: bool = False,
+    workers: int = 1,
 ) -> dict[str, dict[str, float | None]]:
     """Evaluate Table II. ``methods`` restricts to a subset of labels."""
     config = config or ExperimentConfig.default()
-    fleet = generate_fleet(config.fleet)
     registry = build_methods(config)
     if methods is not None:
         unknown = set(methods) - set(registry)
@@ -33,20 +58,12 @@ def run(
             raise ValueError(f"unknown methods: {sorted(unknown)}")
         registry = {name: registry[name] for name in methods}
 
+    jobs = [(config, name) for name in registry]
+    outcomes = parallel_map(_method_job, jobs, workers=workers)
     results: dict[str, dict[str, float | None]] = {}
-    for name, anonymize in registry.items():
-        started = time.perf_counter()
-        anonymized = anonymize(fleet.dataset)
-        evaluation = evaluate_method(
-            fleet.dataset,
-            anonymized,
-            fleet,
-            config,
-            synthetic=name in SYNTHETIC_METHODS,
-        )
-        results[name] = evaluation.values
+    for name, values, elapsed in outcomes:
+        results[name] = values
         if verbose:
-            elapsed = time.perf_counter() - started
             print(f"  {name:<10s} done in {elapsed:6.1f}s", file=sys.stderr)
     return results
 
@@ -68,6 +85,7 @@ def format_table(results: dict[str, dict[str, float | None]]) -> str:
 def main(argv: list[str] | None = None) -> None:
     argv = sys.argv[1:] if argv is None else argv
     preset = argv[0] if argv else "default"
+    workers = int(argv[1]) if len(argv) > 1 else 1
     config = {
         "smoke": ExperimentConfig.smoke,
         "default": ExperimentConfig.default,
@@ -75,8 +93,8 @@ def main(argv: list[str] | None = None) -> None:
     }[preset]()
     print(f"Table II reproduction — preset={preset}, "
           f"|D|={config.fleet.n_objects}, eps={config.epsilon}, "
-          f"m={config.signature_size}")
-    results = run(config, verbose=True)
+          f"m={config.signature_size}, workers={workers}")
+    results = run(config, verbose=True, workers=workers)
     print(format_table(results))
 
 

@@ -46,6 +46,21 @@ class SegmentIndex(Protocol):
         """The ``k`` nearest segments to ``q`` as (sid, distance) pairs."""
         ...
 
+    def iter_nearest(self, q: Coord) -> Iterator[tuple[int, float]]:
+        """Lazily yield every segment in ascending distance from ``q``.
+
+        The incremental counterpart of :meth:`knn`: consumers that do
+        not know ``k`` up front (e.g. "first Δl distinct eligible
+        owners") pull candidates one at a time instead of restarting
+        the search with a growing ``k``. Ties are yielded in ascending
+        sid order, matching :meth:`knn` output. The iterator snapshots
+        or walks live structures — mutating the index invalidates it.
+
+        Implementors without a native incremental search can delegate
+        to :func:`repro.index.search.iter_nearest_via_knn`.
+        """
+        ...
+
     def __len__(self) -> int:
         ...
 

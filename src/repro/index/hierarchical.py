@@ -27,7 +27,10 @@ import heapq
 import math
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.geo.geometry import BBox, Coord
+from repro.geo.vectorized import SegmentArray
 from repro.index.base import IndexedSegment, SegmentRegistry
 from repro.index.search import KnnCandidates
 
@@ -45,6 +48,11 @@ class _Cell:
 
     segments: set[int] = field(default_factory=set)
     children: set[CellKey] = field(default_factory=set)
+    #: Lazily-built vectorised view ``(sorted sids, SegmentArray)`` of
+    #: ``segments``; invalidated whenever the segment set changes. Lets
+    #: the incremental frontier batch a whole cell's exact distances in
+    #: one numpy pass instead of one Python call per segment.
+    array: tuple[list[int], SegmentArray] | None = None
 
     @property
     def empty(self) -> bool:
@@ -155,6 +163,7 @@ class HierarchicalGridIndex:
             self._cells[key] = cell
             self._link_ancestors(key)
         cell.segments.add(segment.sid)
+        cell.array = None
         return segment.sid
 
     def _link_ancestors(self, key: CellKey) -> None:
@@ -177,6 +186,7 @@ class HierarchicalGridIndex:
         key = self._cell_of_sid.pop(sid)
         cell = self._cells[key]
         cell.segments.discard(sid)
+        cell.array = None
         self._prune_upwards(key)
 
     def _prune_upwards(self, key: CellKey) -> None:
@@ -221,6 +231,88 @@ class HierarchicalGridIndex:
         else:
             self._search_bottom_up_down(q, candidates)
         return candidates.results()
+
+    def _cell_view(self, cell: _Cell) -> tuple[list[int], SegmentArray]:
+        """The cell's vectorised segment view, built lazily and cached
+        until the cell's segment set next changes."""
+        if cell.array is None:
+            sids = sorted(cell.segments)
+            pairs = []
+            for sid in sids:
+                segment = self._registry.get(sid)
+                pairs.append((segment.a, segment.b))
+            cell.array = (sids, SegmentArray.from_pairs(pairs))
+        return cell.array
+
+    def iter_nearest(self, q: Coord):
+        """Resumable best-first frontier over the cell hierarchy.
+
+        One priority queue holds unexplored cells (keyed by MINdist,
+        which lower-bounds every descendant segment) and per-cell
+        *cursors* into distance-sorted segment batches (keyed by the
+        cursor head's exact distance). Expanding a cell computes every
+        contained segment's distance in one vectorised pass; only the
+        cheapest then enters the heap, and popping it re-arms the
+        cursor with the cell's next segment. Pop order therefore yields
+        segments in globally nondecreasing distance, and the frontier
+        pauses wherever the consumer stops — no θ_K, no restarts.
+
+        Cells sort ahead of equidistant segments so a tied segment
+        inside an unexpanded cell cannot be skipped; segment ties
+        resolve by ascending sid exactly like :meth:`knn` (within a
+        cell the batch is (distance, sid)-sorted, and every cell's head
+        is always on the heap). Work is recorded in :attr:`last_stats`
+        like any other search.
+        """
+        self.last_stats = SearchStats()
+        if not self._cells:
+            return
+        # Entries: (distance, kind, key, ...) with kind 0 = cell —
+        # (dist, 0, cell key) — and kind 1 = segment cursor —
+        # (dist, 1, sid, sorted sids, sorted distances, position).
+        # Comparison never reaches the unorderable payload: kind
+        # separates the shapes and sids are unique.
+        heap: list[tuple] = [(self.min_distance(q, ROOT), 0, ROOT)]
+        while heap:
+            entry = heapq.heappop(heap)
+            if entry[1]:
+                dist, _, sid, sids, distances, position = entry
+                yield sid, dist
+                position += 1
+                if position < len(sids):
+                    heapq.heappush(
+                        heap,
+                        (
+                            distances[position],
+                            1,
+                            sids[position],
+                            sids,
+                            distances,
+                            position,
+                        ),
+                    )
+                continue
+            cell = self._cells.get(entry[2])
+            if cell is None:
+                continue
+            self.last_stats.cells_visited += 1
+            if cell.segments:
+                sids, array = self._cell_view(cell)
+                self.last_stats.segments_checked += len(sids)
+                raw = array.distances_to(q)
+                # Stable sort on distance keeps ascending-sid ties
+                # (sids is sorted), giving the (distance, sid) order
+                # knn's candidate heap produces.
+                order = np.argsort(raw, kind="stable")
+                sorted_sids = [sids[i] for i in order]
+                sorted_distances = [float(raw[i]) for i in order]
+                heapq.heappush(
+                    heap,
+                    (sorted_distances[0], 1, sorted_sids[0], sorted_sids,
+                     sorted_distances, 0),
+                )
+            for child in cell.children:
+                heapq.heappush(heap, (self.min_distance(q, child), 0, child))
 
     def _check_cell(self, q: Coord, key: CellKey, candidates: KnnCandidates) -> None:
         """Compute exact distances for every segment stored in ``key``."""

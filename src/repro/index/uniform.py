@@ -8,7 +8,9 @@ candidate.
 
 from __future__ import annotations
 
+import heapq
 import math
+from typing import Iterator
 
 from repro.geo.geometry import BBox, Coord
 from repro.index.base import IndexedSegment, SegmentRegistry
@@ -151,6 +153,43 @@ class UniformGridIndex:
                     seen.add(sid)
                     candidates.offer(sid, self._registry.get(sid).distance_to(q))
         return candidates.results()
+
+    def iter_nearest(self, q: Coord) -> Iterator[tuple[int, float]]:
+        """Incremental nearest-segment iteration by ring expansion.
+
+        Rings are scanned outward exactly as in :meth:`knn`; scanned
+        candidates wait in a min-heap and are only released once their
+        distance is provably smaller than anything an unscanned ring
+        can contain (after ring ``r``, unscanned segments sit in rings
+        ``>= r + 1`` whose cells are at least ``r`` cell-widths away,
+        minus the midpoint-mode slack).
+        """
+        if len(self._registry) == 0:
+            return
+        slack = self._max_half_extent if self.assignment == "midpoint" else 0.0
+        qx, qy = self.cell_of(q)
+        min_cell = min(self._cell_w, self._cell_h)
+        seen: set[int] = set()
+        heap: list[tuple[float, int]] = []
+        for ring in range(self.granularity + 1):
+            for cx, cy in self._ring_cells(qx, qy, ring):
+                bucket = self._cells.get((cx, cy))
+                if not bucket:
+                    continue
+                for sid in bucket:
+                    if sid in seen:
+                        continue
+                    seen.add(sid)
+                    heapq.heappush(
+                        heap, (self._registry.get(sid).distance_to(q), sid)
+                    )
+            safe = ring * min_cell - slack
+            while heap and heap[0][0] <= safe:
+                dist, sid = heapq.heappop(heap)
+                yield sid, dist
+        while heap:
+            dist, sid = heapq.heappop(heap)
+            yield sid, dist
 
     def _ring_cells(self, qx: int, qy: int, ring: int):
         if ring == 0:

@@ -1,0 +1,141 @@
+"""Tests for the incremental nearest-segment iterators.
+
+Every backend's ``iter_nearest`` must enumerate the whole index in
+exactly the (distance, sid) order the one-shot ``knn`` uses — the
+inter-trajectory modifier's lazy consumption depends on it.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.geo.geometry import BBox
+from repro.index import (
+    HierarchicalGridIndex,
+    LinearSegmentIndex,
+    RTreeIndex,
+    UniformGridIndex,
+    iter_nearest_via_knn,
+    linear_knn,
+)
+
+BOX = BBox(0.0, 0.0, 1000.0, 1000.0)
+
+BACKENDS = {
+    "linear": lambda: LinearSegmentIndex(),
+    "uniform-overlap": lambda: UniformGridIndex(BOX, granularity=32),
+    "uniform-midpoint": lambda: UniformGridIndex(
+        BOX, granularity=32, assignment="midpoint"
+    ),
+    "hierarchical": lambda: HierarchicalGridIndex(BOX, levels=6),
+    "rtree": lambda: RTreeIndex(leaf_capacity=4),
+}
+
+QUERIES = [(0.0, 0.0), (500.0, 500.0), (999.0, 999.0), (250.0, 750.0)]
+
+
+@pytest.fixture(params=sorted(BACKENDS), ids=sorted(BACKENDS))
+def index(request):
+    return BACKENDS[request.param]()
+
+
+def fill(index, n=70, seed=5):
+    rng = random.Random(seed)
+    segments = []
+    for _ in range(n):
+        x = rng.uniform(0, 1000)
+        y = rng.uniform(0, 1000)
+        a = (x, y)
+        b = (x + rng.uniform(-60, 60), y + rng.uniform(-60, 60))
+        sid = index.insert(a, b, owner=f"o{rng.randrange(5)}")
+        segments.append(index.segment(sid))
+    return segments
+
+
+class TestIterNearest:
+    def test_empty_index_yields_nothing(self, index):
+        assert list(index.iter_nearest((5.0, 5.0))) == []
+
+    def test_full_enumeration_matches_linear_reference(self, index):
+        segments = fill(index)
+        for q in QUERIES:
+            got = list(index.iter_nearest(q))
+            want = linear_knn(segments, q, len(segments))
+            assert [sid for sid, _ in got] == [sid for sid, _ in want], q
+            for (_, d1), (_, d2) in zip(got, want):
+                assert d1 == pytest.approx(d2, abs=1e-9)
+
+    def test_distances_nondecreasing(self, index):
+        fill(index, n=50, seed=9)
+        distances = [d for _, d in index.iter_nearest((400.0, 600.0))]
+        assert distances == sorted(distances)
+
+    def test_prefix_matches_knn(self, index):
+        fill(index, n=60, seed=11)
+        for q in QUERIES:
+            prefix = list(itertools.islice(index.iter_nearest(q), 8))
+            want = index.knn(q, 8)
+            assert [sid for sid, _ in prefix] == [sid for sid, _ in want]
+
+    def test_each_segment_yielded_once(self, index):
+        fill(index, n=45, seed=13)
+        sids = [sid for sid, _ in index.iter_nearest((100.0, 100.0))]
+        assert len(sids) == 45
+        assert len(set(sids)) == 45
+
+    def test_reflects_removals(self, index):
+        fill(index, n=30, seed=15)
+        victims = [sid for sid, _ in index.knn((500.0, 500.0), 5)]
+        for sid in victims:
+            index.remove(sid)
+        remaining = [sid for sid, _ in index.iter_nearest((500.0, 500.0))]
+        assert len(remaining) == 25
+        assert not set(victims) & set(remaining)
+
+    def test_lazy_consumption_is_cheap_on_hierarchical(self):
+        """Pulling one candidate must not enumerate the whole index."""
+        index = HierarchicalGridIndex(BOX, levels=8)
+        fill(index, n=200, seed=17)
+        first = next(iter(index.iter_nearest((500.0, 500.0))))
+        assert first is not None
+        assert index.last_stats.segments_checked < 200
+
+
+class TestIterNearestViaKnn:
+    """The restart-doubling fallback for knn-only backends."""
+
+    def test_matches_native_order(self):
+        index = LinearSegmentIndex()
+        segments = fill(index, n=40, seed=19)
+        got = list(iter_nearest_via_knn(index, (300.0, 300.0), start_k=4))
+        want = linear_knn(segments, (300.0, 300.0), 40)
+        assert [sid for sid, _ in got] == [sid for sid, _ in want]
+
+    def test_empty_index(self):
+        assert list(iter_nearest_via_knn(LinearSegmentIndex(), (0.0, 0.0))) == []
+
+    def test_ties_spanning_k_boundary_yield_each_segment_once(self):
+        """Regression: with many equidistant segments, knn(k) and
+        knn(k * growth) may retain *different* tied candidates at the
+        cut, so prefix-skipping duplicated some sids and dropped
+        others. Every segment must come out exactly once."""
+        import math
+
+        index = UniformGridIndex(BOX, granularity=16)
+        q = (500.0, 500.0)
+        n = 40
+        for i in range(n):  # point-segments on a circle: all tie at 300
+            x = 500.0 + 300.0 * math.cos(2 * math.pi * i / n)
+            y = 500.0 + 300.0 * math.sin(2 * math.pi * i / n)
+            index.insert((x, y), (x, y))
+        sids = [sid for sid, _ in iter_nearest_via_knn(index, q, start_k=4)]
+        assert len(sids) == n
+        assert len(set(sids)) == n
+
+    def test_rejects_bad_parameters(self):
+        index = LinearSegmentIndex()
+        with pytest.raises(ValueError):
+            list(iter_nearest_via_knn(index, (0.0, 0.0), start_k=0))
+        with pytest.raises(ValueError):
+            list(iter_nearest_via_knn(index, (0.0, 0.0), growth=1))

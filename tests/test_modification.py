@@ -7,11 +7,14 @@ guarantee to the published trajectories).
 
 import pytest
 
+from repro.core.edits import EditableTrajectory
 from repro.core.global_mechanism import TFPerturbation
 from repro.core.local_mechanism import PFPerturbation
 from repro.core.modification import (
     InterTrajectoryModifier,
     IntraTrajectoryModifier,
+    index_extent,
+    iter_nearest,
     make_index_factory,
     search_knn,
 )
@@ -231,6 +234,214 @@ class TestInterTrajectoryModifier:
         )
         self.make().apply(dataset, perturbation)
         assert dataset.by_id("a").point_frequencies()[loc] == 1
+
+
+class TestIndexExtent:
+    """The bbox margin must scale with the data, not with a fixed unit.
+
+    Regression for the old flat ``_BBOX_MARGIN = 10.0``: on a
+    lat/lon-degree-scale dataset a 10-unit margin inflated the extent
+    ~100x per side, so every grid level collapsed onto a handful of
+    cells and kNN degenerated to a linear scan.
+    """
+
+    def test_margin_is_relative_on_degree_scale_data(self):
+        bbox = BBox(116.3, 39.9, 116.5, 40.1)  # Beijing-ish, degrees
+        extent = index_extent(bbox)
+        assert extent.contains_bbox(bbox)
+        # Old behaviour: width jumped from 0.2 to 20.2. New: ~2 %.
+        assert extent.width < 1.1 * bbox.width
+        assert extent.height < 1.1 * bbox.height
+
+    def test_margin_is_relative_on_metre_scale_data(self):
+        bbox = BBox(0.0, 0.0, 10_000.0, 10_000.0)
+        extent = index_extent(bbox)
+        assert extent.contains_bbox(bbox)
+        assert extent.width < 1.1 * bbox.width
+
+    def test_degenerate_bbox_gets_positive_extent(self):
+        extent = index_extent(BBox(5.0, 5.0, 5.0, 5.0))
+        assert extent.width > 0.0
+        assert extent.height > 0.0
+
+    def test_grid_resolution_preserved_on_degree_scale(self):
+        """Nearby-but-distinct points must resolve to distinct cells.
+
+        Two points 1 % of the data extent apart: with the relative
+        margin they map to different finest-level cells; under the old
+        flat 10-unit margin the whole dataset collapsed onto a handful
+        of cells and they became indistinguishable.
+        """
+        bbox = BBox(116.3, 39.9, 116.5, 40.1)
+        p1 = (116.4, 40.0)
+        p2 = (116.402, 40.0)
+        index = HierarchicalGridIndex(index_extent(bbox), levels=10)
+        assert index._finest_coords(p1) != index._finest_coords(p2)
+        inflated = HierarchicalGridIndex(bbox.expand(10.0), levels=10)
+        assert inflated._finest_coords(p1) == inflated._finest_coords(p2)
+
+
+class TestInterTrajectoryModifierEdgeCases:
+    def make(self, **kwargs):
+        return InterTrajectoryModifier(
+            make_index_factory("hierarchical", levels=6), **kwargs
+        )
+
+    def test_increase_with_fewer_eligible_owners_than_delta(self):
+        """Δl = 4 but only two trajectories can accept the location."""
+        loc = (10.0, 0.0)
+        dataset = TrajectoryDataset(
+            [
+                traj("has", [(0, 0), (10, 0), (20, 0)]),  # already contains loc
+                traj("a", [(0, 50), (20, 50)]),
+                traj("b", [(0, 90), (20, 90)]),
+            ]
+        )
+        perturbation = TFPerturbation(
+            original={loc: 1}, perturbed={loc: 5}, epsilon=1.0
+        )
+        modified, report = self.make().apply(dataset, perturbation)
+        assert report.insertions == 2
+        assert report.unrealised == 2
+        assert modified.trajectory_frequencies()[loc] == 3
+
+    def test_vanished_segment_falls_back_to_live_segment(self):
+        """A stale sid (owner matches, segment gone from the editable)
+        must be replaced by the owner's nearest *live* segment, never
+        re-selected from the shared index."""
+        modifier = self.make()
+        dataset = TrajectoryDataset(
+            [
+                traj("a", [(0, 100), (20, 100)]),
+                traj("b", [(0, 200), (20, 200)]),
+            ]
+        )
+        shared = modifier.index_factory(index_extent(dataset.bbox()))
+        editables = {
+            t.object_id: EditableTrajectory(t, shared) for t in dataset
+        }
+        loc = (10.0, 0.0)
+        # Phantom: registered in the shared index under owner "a" but
+        # unknown to a's editable — and nearer to loc than anything real.
+        phantom = shared.insert((0.0, 0.0), (20.0, 0.0), owner="a")
+        assert not editables["a"].node_for_segment(phantom)
+        report = modifier._insert_into_nearest_trajectories(
+            shared, editables, loc, 1
+        )
+        assert report.insertions == 1
+        assert report.unrealised == 0
+        assert editables["a"].contains(loc)
+
+    def test_nearest_segment_of_owner_skips_stale_sids(self):
+        modifier = self.make()
+        dataset = TrajectoryDataset([traj("a", [(0, 100), (20, 100)])])
+        shared = modifier.index_factory(index_extent(dataset.bbox()))
+        editable = EditableTrajectory(dataset[0], shared)
+        phantom = shared.insert((0.0, 0.0), (20.0, 0.0), owner="a")
+        found = modifier._nearest_segment_of_owner(shared, (10.0, 0.0), editable)
+        assert found is not None
+        assert found != phantom
+        assert editable.node_for_segment(found)
+
+    def test_nearest_segment_of_owner_without_live_segments(self):
+        modifier = self.make()
+        dataset = TrajectoryDataset([traj("a", [(0, 100), (20, 100)])])
+        shared = modifier.index_factory(index_extent(dataset.bbox()))
+        editable = EditableTrajectory(dataset[0], shared)
+        editable.detach()
+        assert (
+            modifier._nearest_segment_of_owner(shared, (10.0, 0.0), editable)
+            is None
+        )
+
+    def test_rejects_unknown_candidate_source(self):
+        with pytest.raises(ValueError):
+            InterTrajectoryModifier(candidate_source="oracle")
+
+    @pytest.mark.parametrize("backend", ["linear", "uniform", "hierarchical"])
+    def test_restart_and_incremental_select_equal_cost(self, backend):
+        """The engine's lazy frontier must make the same-cost selection
+        the seed restart-scan made (ties may pick a different owner)."""
+        import random as random_module
+
+        rng = random_module.Random(2)
+        trajectories = [
+            traj(
+                f"t{i}",
+                [
+                    (rng.uniform(0, 2000), rng.uniform(0, 2000))
+                    for _ in range(6)
+                ],
+            )
+            for i in range(10)
+        ]
+        loc = (1000.0, 1000.0)
+        perturbation = TFPerturbation(
+            original={loc: 0}, perturbed={loc: 4}, epsilon=1.0
+        )
+        losses = {}
+        for source in ("incremental", "restart"):
+            dataset = TrajectoryDataset([t.copy() for t in trajectories])
+            modifier = InterTrajectoryModifier(
+                make_index_factory(backend, levels=6, granularity=32),
+                candidate_source=source,
+            )
+            modified, report = modifier.apply(dataset, perturbation)
+            assert modified.trajectory_frequencies()[loc] == 4, source
+            losses[source] = report.utility_loss
+        assert losses["incremental"] == pytest.approx(losses["restart"])
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_index_and_bbox_selection_agree_on_fleet(self, seed):
+        """Same cost-minimal selection on generator-produced data."""
+        from repro.datagen.generator import FleetConfig, generate_fleet
+
+        fleet = generate_fleet(
+            FleetConfig(
+                n_objects=10, points_per_trajectory=40, rows=8, cols=8,
+                seed=seed,
+            )
+        )
+        loc = (1.0, 1.0)
+        perturbation = TFPerturbation(
+            original={loc: 0}, perturbed={loc: 3}, epsilon=1.0
+        )
+        losses = {}
+        for selection in ("index", "bbox"):
+            modifier = InterTrajectoryModifier(
+                make_index_factory("hierarchical", levels=7),
+                trajectory_selection=selection,
+            )
+            modified, report = modifier.apply(fleet.dataset, perturbation)
+            assert modified.trajectory_frequencies()[loc] == 3, selection
+            losses[selection] = report.utility_loss
+        assert losses["index"] == pytest.approx(losses["bbox"], rel=1e-6)
+
+
+class TestIterNearestDispatch:
+    def test_native_backends_use_their_iterator(self):
+        index = make_index_factory("hierarchical", levels=5)(BBox(0, 0, 100, 100))
+        index.insert((0, 0), (10, 0))
+        index.insert((50, 50), (60, 50))
+        hits = list(iter_nearest(index, (5.0, 1.0)))
+        assert [sid for sid, _ in hits] == [0, 1]
+
+    def test_fallback_for_knn_only_indexes(self):
+        class KnnOnly:
+            def __init__(self, inner):
+                self.inner = inner
+
+            def knn(self, q, k):
+                return self.inner.knn(q, k)
+
+            def __len__(self):
+                return len(self.inner)
+
+        inner = make_index_factory("linear")(BBox(0, 0, 100, 100))
+        inner.insert((0, 0), (10, 0))
+        inner.insert((50, 50), (60, 50))
+        hits = list(iter_nearest(KnnOnly(inner), (5.0, 1.0)))
+        assert [sid for sid, _ in hits] == [0, 1]
 
 
 class TestBBoxPrunedSelection:

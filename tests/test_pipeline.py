@@ -19,6 +19,31 @@ class TestConfiguration:
         with pytest.raises(ValueError):
             FrequencyAnonymizer(epsilon_global=None, epsilon_local=None)
 
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"epsilon_global": -0.5},
+            {"epsilon_local": -1.0},
+            {"epsilon_global": -0.5, "epsilon_local": -0.5},
+            {"epsilon_global": float("nan")},
+        ],
+    )
+    def test_rejects_invalid_epsilon(self, kwargs):
+        with pytest.raises(ValueError, match="non-negative"):
+            FrequencyAnonymizer(**kwargs)
+
+    def test_pure_variants_reject_negative_epsilon(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            PureG(epsilon=-1.0)
+        with pytest.raises(ValueError, match="non-negative"):
+            PureL(epsilon=-1.0)
+        with pytest.raises(ValueError, match="non-negative"):
+            GL(epsilon=-2.0)
+
+    def test_zero_epsilon_with_other_enabled_is_allowed(self):
+        anonymizer = FrequencyAnonymizer(epsilon_global=0.0, epsilon_local=0.5)
+        assert anonymizer.epsilon == pytest.approx(0.5)
+
     def test_epsilon_composition(self):
         anonymizer = FrequencyAnonymizer(epsilon_global=0.3, epsilon_local=0.7)
         assert anonymizer.epsilon == pytest.approx(1.0)
@@ -102,6 +127,31 @@ class TestAnonymization:
         assert any(
             [p.coord for p in ta] != [p.coord for p in tb] for ta, tb in zip(a, b)
         )
+
+    def test_repeated_calls_draw_fresh_noise(self, fleet):
+        """One seeded instance must not reuse noise across datasets
+        (regression: the per-call RNG used to be rebuilt from the same
+        seed on every anonymize() call)."""
+        anonymizer = GL(epsilon=1.0, signature_size=3, seed=30)
+        first = anonymizer.anonymize(fleet.dataset)
+        second = anonymizer.anonymize(fleet.dataset)
+        assert any(
+            [p.coord for p in ta] != [p.coord for p in tb]
+            for ta, tb in zip(first, second)
+        )
+
+    def test_call_sequence_reproducible_across_instances(self, fleet):
+        """Fresh instance + same seed replays the same call sequence."""
+        runs = []
+        for _ in range(2):
+            anonymizer = GL(epsilon=1.0, signature_size=3, seed=31)
+            runs.append(
+                [
+                    [[p.coord for p in t] for t in anonymizer.anonymize(fleet.dataset)]
+                    for _ in range(2)
+                ]
+            )
+        assert runs[0] == runs[1]
 
     def test_composition_order_exchangeable(self, fleet):
         """Both orders must run cleanly and produce valid datasets."""
