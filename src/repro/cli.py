@@ -3,10 +3,14 @@
 Subcommands::
 
     repro generate   synthesize a fleet and write it as CSV
-    repro anonymize  apply PureG / PureL / GL to a CSV dataset
-    repro attack     run the linkage attack between two CSV datasets
-    repro evaluate   compute utility metrics between two CSV datasets
+    repro ingest     preprocess a raw dataset into a cached artifact
+    repro anonymize  apply PureG / PureL / GL to a dataset
+    repro attack     run the linkage attack between two datasets
+    repro evaluate   compute utility metrics between two datasets
     repro experiment regenerate a table/figure of the paper
+
+Dataset arguments accept a planar CSV path, a preprocessed-artifact
+directory, or an ingested registry name (see ``docs/data.md``).
 
 Example session::
 
@@ -31,7 +35,8 @@ from repro.metrics.utility import (
     information_loss,
     trip_error,
 )
-from repro.trajectory.io import read_csv, write_csv
+from repro.data.registry import DatasetRegistry, load_dataset
+from repro.trajectory.io import write_csv
 
 MODELS = ("gl", "pureg", "purel")
 
@@ -52,8 +57,68 @@ def _build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--seed", type=int, default=7)
     generate.add_argument("-o", "--output", required=True)
 
-    anonymize = sub.add_parser("anonymize", help="anonymize a CSV dataset")
-    anonymize.add_argument("-i", "--input", required=True)
+    ingest = sub.add_parser(
+        "ingest",
+        help="preprocess a raw dataset (T-Drive or planar CSV) into a "
+        "cached artifact",
+    )
+    ingest.add_argument(
+        "-i", "--source", required=True,
+        help="raw source: a T-Drive file/directory or a planar CSV",
+    )
+    ingest.add_argument(
+        "--name", required=True, help="registry name of the dataset"
+    )
+    ingest.add_argument(
+        "--root",
+        default=None,
+        help="registry root (default: $REPRO_DATA_ROOT or "
+        "~/.cache/repro/datasets)",
+    )
+    ingest.add_argument(
+        "--format", choices=("auto", "planar", "tdrive"), default="auto"
+    )
+    ingest.add_argument(
+        "--origin",
+        nargs=2,
+        type=float,
+        metavar=("LAT", "LON"),
+        help="projection origin for T-Drive sources (default: mean "
+        "coordinate, computed in an extra pass)",
+    )
+    ingest.add_argument(
+        "--gap", type=float, default=1800.0, metavar="SECONDS",
+        help="split trajectories into trips at gaps exceeding this",
+    )
+    ingest.add_argument(
+        "--min-points", type=int, default=2, metavar="N",
+        help="drop trips shorter than N points",
+    )
+    ingest.add_argument(
+        "--bbox",
+        nargs=4,
+        type=float,
+        metavar=("MIN_X", "MIN_Y", "MAX_X", "MAX_Y"),
+        help="keep only samples inside this planar box (metres)",
+    )
+    ingest.add_argument(
+        "--resample-dt", type=float, default=None, metavar="SECONDS",
+        help="resample trips to a fixed interval",
+    )
+    ingest.add_argument(
+        "--snap", type=float, default=None, metavar="METRES",
+        help="snap coordinates to a lattice so repeat visits collapse",
+    )
+    ingest.add_argument(
+        "--force", action="store_true",
+        help="re-ingest even when a matching artifact is cached",
+    )
+
+    anonymize = sub.add_parser("anonymize", help="anonymize a dataset")
+    anonymize.add_argument(
+        "-i", "--input", required=True,
+        help="planar CSV, artifact directory, or ingested dataset name",
+    )
     anonymize.add_argument("-o", "--output", required=True)
     anonymize.add_argument("--model", choices=MODELS, default="gl")
     anonymize.add_argument("--epsilon", type=float, default=1.0)
@@ -112,6 +177,13 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="fan the sweep across N worker processes (1 = serial)",
     )
+    experiment.add_argument(
+        "--dataset",
+        default=None,
+        metavar="REF",
+        help="evaluate on an ingested real dataset (name or path) "
+        "instead of the synthetic fleet",
+    )
     return parser
 
 
@@ -149,8 +221,39 @@ def _make_anonymizer(args: argparse.Namespace) -> FrequencyAnonymizer:
     return PureL(epsilon=args.epsilon, **common)
 
 
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.data.preprocess import PreprocessConfig
+
+    config = PreprocessConfig(
+        gap_threshold_s=args.gap,
+        min_points=args.min_points,
+        bbox=tuple(args.bbox) if args.bbox else None,
+        resample_dt=args.resample_dt,
+        snap=args.snap,
+    )
+    registry = DatasetRegistry(args.root)
+    result = registry.ingest(
+        args.name,
+        args.source,
+        config,
+        format=args.format,
+        origin=tuple(args.origin) if args.origin else None,
+        force=args.force,
+    )
+    if result.fresh:
+        print(f"ingested {args.source} as {args.name}@{result.version}")
+        print(f"  {result.stats.summary()}")
+    else:
+        print(
+            f"cached artifact {args.name}@{result.version} is up to date "
+            f"(use --force to re-ingest)"
+        )
+    print(f"  artifact: {result.path}")
+    return 0
+
+
 def _cmd_anonymize(args: argparse.Namespace) -> int:
-    dataset = read_csv(args.input)
+    dataset = load_dataset(args.input)
     anonymizer = _make_anonymizer(args)
     if args.engine == "batch":
         from repro.engine import BatchAnonymizer
@@ -172,8 +275,8 @@ def _cmd_anonymize(args: argparse.Namespace) -> int:
 
 
 def _cmd_attack(args: argparse.Namespace) -> int:
-    original = read_csv(args.original)
-    anonymized = read_csv(args.anonymized)
+    original = load_dataset(args.original)
+    anonymized = load_dataset(args.anonymized)
     attack = LinkageAttack(cell_size=args.cell)
     kinds = SIGNATURE_KINDS if args.kind == "all" else (args.kind,)
     for kind in kinds:
@@ -184,8 +287,8 @@ def _cmd_attack(args: argparse.Namespace) -> int:
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
-    original = read_csv(args.original)
-    anonymized = read_csv(args.anonymized)
+    original = load_dataset(args.original)
+    anonymized = load_dataset(args.anonymized)
     print(f"MI   {mutual_information(original, anonymized):.3f}")
     print(f"INF  {information_loss(original, anonymized, sample_stride=2):.3f}")
     print(f"DE   {diameter_error(original, anonymized):.3f}")
@@ -201,9 +304,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         from repro.experiments.fig4 import main as experiment_main
     else:
         from repro.experiments.fig5 import main as experiment_main
-    argv = [args.preset]
-    if args.workers != 1:
-        argv.append(str(args.workers))
+    argv = [args.preset, str(args.workers)]
+    if args.dataset:
+        argv.extend(["--dataset", args.dataset])
     experiment_main(argv)
     return 0
 
@@ -212,6 +315,7 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
         "generate": _cmd_generate,
+        "ingest": _cmd_ingest,
         "anonymize": _cmd_anonymize,
         "attack": _cmd_attack,
         "evaluate": _cmd_evaluate,

@@ -1,0 +1,48 @@
+"""Real-dataset workloads: streaming ingestion, preprocessing, registry.
+
+The synthetic generator (:mod:`repro.datagen`) covers the paper's
+controlled experiments; this package covers the *real-data* path the
+roadmap's millions-of-users workload needs:
+
+* :mod:`repro.data.stream` — lazy, memory-bounded readers for raw
+  T-Drive files (``taxi_id,datetime,longitude,latitude``) and planar
+  ``object_id,t,x,y`` CSVs, plus projection and chunking helpers;
+* :mod:`repro.data.preprocess` — the raw-to-clean pipeline (timestamp
+  sorting/dedup, gap-splitting into trips, bbox and min-length
+  filtering, optional resampling), streaming end to end;
+* :mod:`repro.data.registry` — named dataset sources with cached,
+  versioned preprocessed artifacts on disk.
+
+Formats, artifact schema, and every preprocessing knob are documented
+in ``docs/data.md``.
+"""
+
+from repro.data.preprocess import IngestStats, PreprocessConfig, preprocess_stream
+from repro.data.registry import (
+    DatasetRegistry,
+    IngestResult,
+    is_artifact,
+    load_dataset,
+    stream_dataset,
+)
+from repro.data.stream import (
+    RawRecord,
+    chunked,
+    stream_tdrive_records,
+    stream_trajectories,
+)
+
+__all__ = [
+    "DatasetRegistry",
+    "IngestResult",
+    "IngestStats",
+    "PreprocessConfig",
+    "RawRecord",
+    "chunked",
+    "is_artifact",
+    "load_dataset",
+    "preprocess_stream",
+    "stream_dataset",
+    "stream_tdrive_records",
+    "stream_trajectories",
+]

@@ -1,0 +1,238 @@
+"""Raw-to-clean preprocessing for real trajectory data.
+
+Real GPS logs are noisy in ways the paper's mechanisms cannot absorb:
+out-of-order and duplicated timestamps, hours-long gaps where the
+receiver was off (which would otherwise interpolate a straight line
+across a city), out-of-area excursions, and single-sample stubs. The
+pipeline here turns one raw trajectory into zero or more clean *trips*,
+streaming — every step is per-trajectory, so it composes with the lazy
+readers in :mod:`repro.data.stream` without materialising the dataset.
+
+Per trajectory, in order (each knob documented in ``docs/data.md``):
+
+1. sort samples by timestamp;
+2. drop duplicate timestamps (keep the first sample of each instant);
+3. drop samples outside the configured bbox, if any;
+4. snap coordinates to a lattice, if configured;
+5. split into trips wherever the time gap *exceeds* ``gap_threshold_s``
+   (an exactly-threshold gap does not split);
+6. resample each trip to a fixed interval, if configured;
+7. drop trips shorter than ``min_points``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Iterable, Iterator
+
+from repro.trajectory.model import Point, Trajectory
+
+
+@dataclass(frozen=True, slots=True)
+class PreprocessConfig:
+    """Every knob of the preprocessing pipeline (defaults T-Drive-tuned).
+
+    ``key()`` hashes the configuration into the artifact version string,
+    so two ingests of one source with different knobs cache separately
+    (see :mod:`repro.data.registry`).
+    """
+
+    #: Split a trajectory into trips where consecutive samples are more
+    #: than this many seconds apart. T-Drive samples every ~3.1 minutes;
+    #: 30 minutes of silence reliably means the taxi was parked.
+    gap_threshold_s: float = 1800.0
+    #: Drop trips with fewer points; 2 is the minimum that still forms a
+    #: segment (the unit of the paper's spatial index and modification).
+    min_points: int = 2
+    #: Keep only samples inside ``(min_x, min_y, max_x, max_y)`` planar
+    #: metres; ``None`` keeps everything.
+    bbox: tuple[float, float, float, float] | None = None
+    #: Resample each trip to this fixed interval in seconds by linear
+    #: interpolation; ``None`` keeps the raw sampling.
+    resample_dt: float | None = None
+    #: Snap coordinates to this lattice (metres) so repeat visits
+    #: collapse onto identical location keys — the frequency-based
+    #: mechanisms count locations by exact identity. ``None`` disables.
+    snap: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.gap_threshold_s <= 0:
+            raise ValueError("gap_threshold_s must be positive")
+        if self.min_points < 1:
+            raise ValueError("min_points must be at least 1")
+        if self.bbox is not None:
+            min_x, min_y, max_x, max_y = self.bbox
+            if min_x >= max_x or min_y >= max_y:
+                raise ValueError(f"degenerate bbox {self.bbox}")
+        if self.resample_dt is not None and self.resample_dt <= 0:
+            raise ValueError("resample_dt must be positive")
+        if self.snap is not None and self.snap <= 0:
+            raise ValueError("snap must be positive")
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        if data["bbox"] is not None:
+            data["bbox"] = list(data["bbox"])
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PreprocessConfig":
+        if data.get("bbox") is not None:
+            data = {**data, "bbox": tuple(data["bbox"])}
+        return cls(**data)
+
+    def key(self) -> str:
+        """Stable 12-hex-digit digest of the configuration."""
+        payload = json.dumps(self.to_dict(), sort_keys=True).encode()
+        return hashlib.blake2b(payload, digest_size=6).hexdigest()
+
+
+@dataclass(slots=True)
+class IngestStats:
+    """Counters accumulated while a preprocessing stream is consumed."""
+
+    objects_in: int = 0
+    points_in: int = 0
+    duplicate_timestamps: int = 0
+    out_of_bbox: int = 0
+    gap_splits: int = 0
+    short_trips: int = 0
+    trips_out: int = 0
+    points_out: int = 0
+
+    def to_dict(self) -> dict[str, int]:
+        return asdict(self)
+
+    def summary(self) -> str:
+        return (
+            f"read {self.objects_in} objects / {self.points_in} points; "
+            f"dropped {self.duplicate_timestamps} duplicate timestamps, "
+            f"{self.out_of_bbox} out-of-bbox points, "
+            f"{self.short_trips} short trips; "
+            f"split at {self.gap_splits} gaps; "
+            f"wrote {self.trips_out} trips / {self.points_out} points"
+        )
+
+
+def split_gaps(points: list[Point], threshold_s: float) -> list[list[Point]]:
+    """Split a sorted point list wherever the time gap exceeds the
+    threshold (strictly — an exactly-threshold gap stays one trip)."""
+    if not points:
+        return []
+    trips: list[list[Point]] = [[points[0]]]
+    for previous, point in zip(points, points[1:]):
+        if point.t - previous.t > threshold_s:
+            trips.append([point])
+        else:
+            trips[-1].append(point)
+    return trips
+
+
+def resample(points: list[Point], dt: float) -> list[Point]:
+    """Linearly resample a sorted trip onto the fixed grid ``t0 + k*dt``.
+
+    The grid starts at the trip's first timestamp and extends while it
+    stays within the trip's time span, so the first sample is always
+    preserved exactly and every emitted point is interpolated — never
+    extrapolated. Trips shorter than two points pass through unchanged.
+    """
+    if len(points) < 2:
+        return list(points)
+    resampled: list[Point] = []
+    t0, t_end = points[0].t, points[-1].t
+    segment = 0
+    k = 0
+    while True:
+        t = t0 + k * dt
+        if t > t_end:
+            break
+        while points[segment + 1].t < t and segment < len(points) - 2:
+            segment += 1
+        a, b = points[segment], points[segment + 1]
+        span = b.t - a.t
+        w = 0.0 if span <= 0 else (t - a.t) / span
+        resampled.append(Point(a.x + w * (b.x - a.x), a.y + w * (b.y - a.y), t))
+        k += 1
+    return resampled
+
+
+def preprocess_trajectory(
+    trajectory: Trajectory,
+    config: PreprocessConfig,
+    stats: IngestStats | None = None,
+) -> list[Trajectory]:
+    """Clean one raw trajectory into zero or more trips.
+
+    Trip ids: a trajectory that splits (before min-length filtering)
+    into ``n > 1`` trips emits ``<object_id>#<k>`` with ``k`` counting
+    from 0; an unsplit trajectory keeps its id.
+    """
+    if stats is not None:
+        stats.objects_in += 1
+        stats.points_in += len(trajectory)
+    points = sorted(trajectory.points, key=lambda p: p.t)
+
+    deduped: list[Point] = []
+    for point in points:
+        if deduped and point.t == deduped[-1].t:
+            if stats is not None:
+                stats.duplicate_timestamps += 1
+            continue
+        deduped.append(point)
+    points = deduped
+
+    if config.bbox is not None:
+        min_x, min_y, max_x, max_y = config.bbox
+        kept = [
+            p for p in points if min_x <= p.x <= max_x and min_y <= p.y <= max_y
+        ]
+        if stats is not None:
+            stats.out_of_bbox += len(points) - len(kept)
+        points = kept
+
+    if config.snap is not None:
+        cell = config.snap
+        points = [
+            Point(round(p.x / cell) * cell, round(p.y / cell) * cell, p.t)
+            for p in points
+        ]
+
+    trips = split_gaps(points, config.gap_threshold_s)
+    if stats is not None and trips:
+        stats.gap_splits += len(trips) - 1
+
+    result: list[Trajectory] = []
+    for k, trip in enumerate(trips):
+        if config.resample_dt is not None:
+            trip = resample(trip, config.resample_dt)
+        if len(trip) < config.min_points:
+            if stats is not None:
+                stats.short_trips += 1
+            continue
+        trip_id = (
+            trajectory.object_id
+            if len(trips) == 1
+            else f"{trajectory.object_id}#{k}"
+        )
+        result.append(Trajectory(trip_id, trip))
+    if stats is not None:
+        stats.trips_out += len(result)
+        stats.points_out += sum(len(t) for t in result)
+    return result
+
+
+def preprocess_stream(
+    trajectories: Iterable[Trajectory],
+    config: PreprocessConfig | None = None,
+    stats: IngestStats | None = None,
+) -> Iterator[Trajectory]:
+    """Lazily preprocess a trajectory stream, one object at a time.
+
+    ``stats``, when given, is updated in place as the stream is
+    consumed — after exhaustion it holds the full ingest summary.
+    """
+    config = config or PreprocessConfig()
+    for trajectory in trajectories:
+        yield from preprocess_trajectory(trajectory, config, stats)

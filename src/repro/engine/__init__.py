@@ -17,11 +17,17 @@ backends themselves (see ``repro.index``) and is used by
 """
 
 from repro.engine.batch import BatchAnonymizer
-from repro.engine.pool import EXECUTOR_KINDS, parallel_map, resolve_workers
+from repro.engine.pool import (
+    EXECUTOR_KINDS,
+    parallel_map,
+    parallel_map_stream,
+    resolve_workers,
+)
 
 __all__ = [
     "BatchAnonymizer",
     "EXECUTOR_KINDS",
     "parallel_map",
+    "parallel_map_stream",
     "resolve_workers",
 ]

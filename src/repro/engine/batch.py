@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Iterable, Iterator
 
 from repro.core.local_mechanism import LocalPFMechanism
 from repro.core.modification import IntraTrajectoryModifier, make_index_factory
@@ -30,7 +31,12 @@ from repro.core.pipeline import (
     local_stream_seed,
 )
 from repro.core.signature import SignatureIndex
-from repro.engine.pool import EXECUTOR_KINDS, parallel_map, resolve_workers
+from repro.engine.pool import (
+    EXECUTOR_KINDS,
+    parallel_map,
+    parallel_map_stream,
+    resolve_workers,
+)
 from repro.trajectory.model import Trajectory, TrajectoryDataset
 
 
@@ -145,8 +151,41 @@ class BatchAnonymizer:
         finally:
             self.anonymizer._local_runner = previous
 
+    def anonymize_stream(
+        self, datasets: Iterable[TrajectoryDataset]
+    ) -> Iterator[tuple[TrajectoryDataset, AnonymizationReport]]:
+        """Lazily anonymize a stream of datasets, one worker each.
+
+        Datasets are pulled from the (possibly lazy — e.g.
+        :func:`repro.data.stream.chunked` over a streaming reader)
+        iterable only as pool slots free up, with at most a small
+        bounded window in flight, so a sweep far larger than memory
+        works. Yields ``(anonymized, report)`` pairs in input order;
+        each dataset draws the same per-call noise stream the ``i``-th
+        sequential ``anonymize`` call on the wrapped instance would.
+        """
+        config = self.anonymizer.config()
+
+        def payloads() -> Iterator[tuple[dict, int, TrajectoryDataset]]:
+            for dataset in datasets:
+                call_index = self.anonymizer._call_count
+                self.anonymizer._call_count = call_index + 1
+                yield (config, call_index, dataset)
+
+        for result, report in parallel_map_stream(
+            _anonymize_one,
+            payloads(),
+            workers=self.workers,
+            executor=self.executor,
+        ):
+            # Keep the last_report convention intact: the sweep ran on
+            # throwaway worker-side instances, so reflect each report
+            # onto the wrapped anonymizer the property reads.
+            self.anonymizer.last_report = report
+            yield result, report
+
     def anonymize_many(
-        self, datasets: list[TrajectoryDataset]
+        self, datasets: Iterable[TrajectoryDataset]
     ) -> list[tuple[TrajectoryDataset, AnonymizationReport]]:
         """Anonymize a sweep of datasets, one worker each.
 
@@ -154,24 +193,11 @@ class BatchAnonymizer:
         once per dataset in order (each dataset gets its own per-call
         noise stream); the wrapped instance's call counter advances
         accordingly. Returns ``(anonymized, report)`` pairs in input
-        order.
+        order. The input may be any iterable — it is consumed
+        incrementally (see :meth:`anonymize_stream`); only the results
+        are accumulated.
         """
-        config = self.anonymizer.config()
-        start = self.anonymizer._call_count
-        payloads = [
-            (config, start + offset, dataset)
-            for offset, dataset in enumerate(datasets)
-        ]
-        self.anonymizer._call_count = start + len(datasets)
-        outcomes = parallel_map(
-            _anonymize_one, payloads, workers=self.workers, executor=self.executor
-        )
-        if outcomes:
-            # Keep the last_report convention intact: the sweep ran on
-            # throwaway worker-side instances, so reflect its final
-            # report onto the wrapped anonymizer the property reads.
-            self.anonymizer.last_report = outcomes[-1][1]
-        return outcomes
+        return list(self.anonymize_stream(datasets))
 
     # -- local-stage sharding ---------------------------------------------------
 

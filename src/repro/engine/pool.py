@@ -18,8 +18,9 @@ serial path rather than failing the run.
 
 from __future__ import annotations
 
+from collections import deque
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Callable, Iterable, Sequence, TypeVar
+from typing import Callable, Iterable, Iterator, Sequence, TypeVar
 
 EXECUTOR_KINDS = ("serial", "thread", "process")
 
@@ -72,3 +73,52 @@ def parallel_map(
         return [fn(item) for item in batch]
     with pool:
         return list(pool.map(fn, batch))
+
+
+def parallel_map_stream(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    workers: int = 1,
+    executor: str = "process",
+    prefetch: int = 2,
+) -> Iterator[R]:
+    """Lazy :func:`parallel_map`: results stream back in input order.
+
+    At most ``workers * prefetch`` items are in flight (submitted but
+    not yet yielded), and the input iterable is pulled only as slots
+    free up — so a lazy or unbounded input stream is consumed with
+    bounded memory, unlike :func:`parallel_map` which materialises its
+    input first. The serial path (``workers <= 1``, ``"serial"``, or an
+    environment without pools) degenerates to a plain lazy ``map``.
+    """
+    if executor not in EXECUTOR_KINDS:
+        raise ValueError(
+            f"unknown executor {executor!r}; choose from {EXECUTOR_KINDS}"
+        )
+    if prefetch < 1:
+        raise ValueError(f"prefetch must be at least 1, got {prefetch}")
+    workers = resolve_workers(workers)
+    iterator = iter(items)
+    pool = (
+        None
+        if workers <= 1 or executor == "serial"
+        else _make_executor(executor, workers)
+    )
+    if pool is None:
+        for item in iterator:
+            yield fn(item)
+        return
+    window = workers * prefetch
+    pending: deque = deque()
+    try:
+        for item in iterator:
+            pending.append(pool.submit(fn, item))
+            if len(pending) >= window:
+                yield pending.popleft().result()
+        while pending:
+            yield pending.popleft().result()
+    finally:
+        # The consumer may abandon the generator (or a job may raise)
+        # with a full window still queued; cancel it instead of letting
+        # shutdown block until work nobody will read finishes.
+        pool.shutdown(wait=True, cancel_futures=True)

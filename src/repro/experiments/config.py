@@ -41,11 +41,51 @@ def cached_fleet(fleet_config: FleetConfig):
 
 
 @dataclass(slots=True)
+class ExperimentInput:
+    """What an experiment job evaluates on.
+
+    ``fleet`` is ``None`` in real-data mode: there is no road-network
+    ground truth, so the recovery-attack metric family is skipped
+    (``evaluate_method(..., with_recovery=False)``) exactly as the
+    paper does for datasets without route ground truth.
+    """
+
+    dataset: object  # TrajectoryDataset
+    fleet: object | None  # FleetResult | None
+
+
+def load_experiment_input(config: "ExperimentConfig") -> ExperimentInput:
+    """The dataset (and ground-truth fleet, when synthetic) to evaluate.
+
+    When ``config.dataset`` names an ingested artifact (registry name
+    or path — see :func:`repro.data.registry.load_dataset`), that real
+    dataset is loaded (memoised per process, like the fleet); otherwise
+    the synthetic fleet is generated from ``config.fleet``.
+    """
+    if config.dataset:
+        key = f"dataset:{config.dataset}"
+        dataset = _FLEET_CACHE.get(key)
+        if dataset is None:
+            from repro.data.registry import load_dataset
+
+            if len(_FLEET_CACHE) >= _FLEET_CACHE_LIMIT:
+                _FLEET_CACHE.clear()
+            dataset = _FLEET_CACHE[key] = load_dataset(config.dataset)
+        return ExperimentInput(dataset=dataset, fleet=None)
+    fleet = cached_fleet(config.fleet)
+    return ExperimentInput(dataset=fleet.dataset, fleet=fleet)
+
+
+@dataclass(slots=True)
 class ExperimentConfig:
     """All knobs of the evaluation pipeline."""
 
     #: Synthetic fleet shape.
     fleet: FleetConfig = field(default_factory=lambda: FleetConfig())
+    #: Real-data mode: a dataset reference — ingested-artifact registry
+    #: name (``repro ingest --name ...``), artifact directory, or planar
+    #: CSV path. ``None`` evaluates on the synthetic fleet above.
+    dataset: str | None = None
     #: Signature size m (the paper uses 10 at T-Drive scale).
     signature_size: int = 5
     #: Total privacy budget ε (split evenly for GL).
@@ -120,3 +160,48 @@ class ExperimentConfig:
 
     def with_objects(self, n_objects: int) -> "ExperimentConfig":
         return replace(self, fleet=replace(self.fleet, n_objects=n_objects))
+
+    def with_dataset(self, dataset: str | None) -> "ExperimentConfig":
+        return replace(self, dataset=dataset)
+
+
+PRESETS = ("smoke", "default", "large")
+
+
+def parse_driver_args(
+    argv: list[str], prog: str
+) -> tuple[str, "ExperimentConfig", int]:
+    """Shared CLI of the fig4/fig5/table2 drivers.
+
+    ``[preset] [workers] [--dataset REF]`` — positionals stay optional
+    and ordered for backwards compatibility with the original
+    ``main(["smoke", "2"])`` convention. Returns
+    ``(preset, config, workers)``.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(prog=prog)
+    parser.add_argument("preset", nargs="?", choices=PRESETS, default="default")
+    parser.add_argument(
+        "workers",
+        nargs="?",
+        type=int,
+        default=1,
+        help="fan the sweep across N worker processes (1 = serial)",
+    )
+    parser.add_argument(
+        "--dataset",
+        default=None,
+        metavar="REF",
+        help="evaluate on an ingested real dataset (registry name, "
+        "artifact directory, or CSV path) instead of the synthetic fleet",
+    )
+    args = parser.parse_args(argv)
+    config = {
+        "smoke": ExperimentConfig.smoke,
+        "default": ExperimentConfig.default,
+        "large": ExperimentConfig.large,
+    }[args.preset]()
+    if args.dataset:
+        config = config.with_dataset(args.dataset)
+    return args.preset, config, args.workers

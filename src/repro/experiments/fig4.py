@@ -5,11 +5,14 @@ FFP, route-based F-score, route-based RMF, point-based Accuracy.
 Invoke with::
 
     python -m repro.experiments.fig4 [smoke|default|large] [workers]
+                                     [--dataset REF]
 
 Each (ε, model) cell of the sweep is independent, so ``workers > 1``
 fans the grid across a process pool (``repro.engine``); results are
 identical to the serial sweep because every job reseeds from the
-config.
+config. ``--dataset`` swaps the synthetic fleet for an ingested real
+dataset (see ``docs/data.md``); the recovery panels are then skipped,
+as real data carries no route ground truth.
 """
 
 from __future__ import annotations
@@ -17,7 +20,11 @@ from __future__ import annotations
 import sys
 
 from repro.engine.pool import parallel_map
-from repro.experiments.config import ExperimentConfig, cached_fleet
+from repro.experiments.config import (
+    ExperimentConfig,
+    load_experiment_input,
+    parse_driver_args,
+)
 from repro.experiments.evaluate import evaluate_method
 from repro.experiments.methods import build_our_models
 
@@ -37,12 +44,17 @@ def _sweep_job(
     fleet from the config) so it can run in a worker process, with the
     per-process fleet memo avoiding repeated generation."""
     config, epsilon, model = payload
-    fleet = cached_fleet(config.fleet)
+    inputs = load_experiment_input(config)
     swept = config.with_epsilon(epsilon)
     anonymize = build_our_models(swept)[model]
-    anonymized = anonymize(fleet.dataset)
+    anonymized = anonymize(inputs.dataset)
     evaluation = evaluate_method(
-        fleet.dataset, anonymized, fleet, swept, synthetic=False
+        inputs.dataset,
+        anonymized,
+        inputs.fleet,
+        swept,
+        synthetic=False,
+        with_recovery=inputs.fleet is not None,
     )
     return epsilon, model, evaluation.values
 
@@ -98,17 +110,12 @@ def format_series(
 
 def main(argv: list[str] | None = None) -> None:
     argv = sys.argv[1:] if argv is None else argv
-    preset = argv[0] if argv else "default"
-    workers = int(argv[1]) if len(argv) > 1 else 1
-    config = {
-        "smoke": ExperimentConfig.smoke,
-        "default": ExperimentConfig.default,
-        "large": ExperimentConfig.large,
-    }[preset]()
+    preset, config, workers = parse_driver_args(argv, "repro.experiments.fig4")
     epsilons = DEFAULT_EPSILONS if preset != "smoke" else (0.5, 1.0, 5.0)
+    source = config.dataset or "synthetic"
     print(
         f"Figure 4 reproduction — preset={preset}, eps sweep={epsilons}, "
-        f"workers={workers}"
+        f"workers={workers}, dataset={source}"
     )
     series = run(config, epsilons=epsilons, verbose=True, workers=workers)
     print(format_series(series, epsilons, charts=True))

@@ -15,11 +15,14 @@ strategy (the paper reports global at 90 %+ of total time).
 Invoke with::
 
     python -m repro.experiments.fig5 [smoke|default|large] [workers]
+                                     [--dataset REF]
 
 ``workers > 1`` additionally times the batch engine's sharded local
 stage (``repro.engine.BatchAnonymizer``) next to the serial one —
 the timings panel is otherwise always measured serially, since pooling
-would distort the strategy comparison.
+would distort the strategy comparison. ``--dataset`` runs the timing
+sweep over growing subsets of an ingested real dataset instead of
+synthetic fleets of growing size.
 """
 
 from __future__ import annotations
@@ -32,7 +35,11 @@ from repro.core.modification import index_extent
 from repro.core.pipeline import PureG, PureL
 from repro.core.signature import SignatureExtractor
 from repro.datagen.generator import generate_fleet
-from repro.experiments.config import ExperimentConfig
+from repro.experiments.config import (
+    ExperimentConfig,
+    load_experiment_input,
+    parse_driver_args,
+)
 from repro.geo.geometry import BBox
 from repro.index.hierarchical import HierarchicalGridIndex
 from repro.index.linear import LinearSegmentIndex
@@ -45,6 +52,35 @@ SEARCH_METHODS = ("Linear", "UG", "HGt", "HGb", "HG+", "RT")
 
 DEFAULT_SIZES = (25, 50, 100, 200)
 SMOKE_SIZES = (10, 20)
+
+
+def _dataset_for_size(config: ExperimentConfig, size: int):
+    """The ``size``-trajectory dataset of one sweep step.
+
+    Synthetic mode generates a fresh fleet of that size; real-data mode
+    takes the first ``size`` trajectories of the ingested dataset (so
+    the growth axis stays comparable across sizes).
+    """
+    if config.dataset:
+        return load_experiment_input(config).dataset.subset(size)
+    return generate_fleet(replace(config.fleet, n_objects=size)).dataset
+
+
+def effective_sizes(
+    config: ExperimentConfig, sizes: tuple[int, ...]
+) -> tuple[int, ...]:
+    """Clamp the size axis to what the dataset can actually provide.
+
+    In real-data mode a requested size beyond the ingested dataset
+    would silently repeat the full dataset and fake a flat scaling
+    curve; clamp and deduplicate instead, so every labelled size is a
+    genuine measurement. Synthetic mode generates any size, so it
+    passes through.
+    """
+    if not config.dataset:
+        return sizes
+    available = len(load_experiment_input(config).dataset)
+    return tuple(sorted({min(size, available) for size in sizes}))
 
 
 def _build_indexes(dataset, bbox: BBox):
@@ -86,8 +122,7 @@ def search_timings(
     timings: dict[str, list[float]] = {name: [] for name in SEARCH_METHODS}
     work: dict[str, list[int]] = {name: [] for name in SEARCH_METHODS}
     for size in sizes:
-        fleet = generate_fleet(replace(config.fleet, n_objects=size))
-        dataset = fleet.dataset
+        dataset = _dataset_for_size(config, size)
         bbox = index_extent(dataset.bbox())
         linear, uniform, hierarchical, rtree = _build_indexes(dataset, bbox)
         queries = _query_points(dataset, config.signature_size)
@@ -136,20 +171,20 @@ def modification_timings(
     if workers > 1:
         timings["Local-batch"] = []
     for size in sizes:
-        fleet = generate_fleet(replace(config.fleet, n_objects=size))
+        dataset = _dataset_for_size(config, size)
         started = time.perf_counter()
         PureG(
             epsilon=config.epsilon / 2,
             signature_size=config.signature_size,
             seed=config.seed,
-        ).anonymize(fleet.dataset)
+        ).anonymize(dataset)
         timings["Global"].append(time.perf_counter() - started)
         started = time.perf_counter()
         PureL(
             epsilon=config.epsilon / 2,
             signature_size=config.signature_size,
             seed=config.seed,
-        ).anonymize(fleet.dataset)
+        ).anonymize(dataset)
         timings["Local"].append(time.perf_counter() - started)
         if workers > 1:
             from repro.engine import BatchAnonymizer
@@ -163,7 +198,7 @@ def modification_timings(
                 workers=workers,
             )
             started = time.perf_counter()
-            engine.anonymize(fleet.dataset)
+            engine.anonymize(dataset)
             timings["Local-batch"].append(time.perf_counter() - started)
     return timings
 
@@ -174,6 +209,7 @@ def run(
     workers: int = 1,
 ) -> dict[str, dict[str, list]]:
     config = config or ExperimentConfig.default()
+    sizes = effective_sizes(config, sizes)
     search, work = search_timings(config, sizes)
     return {
         "search": search,
@@ -220,16 +256,13 @@ def format_timings(
 
 def main(argv: list[str] | None = None) -> None:
     argv = sys.argv[1:] if argv is None else argv
-    preset = argv[0] if argv else "default"
-    workers = int(argv[1]) if len(argv) > 1 else 1
-    config = {
-        "smoke": ExperimentConfig.smoke,
-        "default": ExperimentConfig.default,
-        "large": ExperimentConfig.large,
-    }[preset]()
-    sizes = SMOKE_SIZES if preset == "smoke" else DEFAULT_SIZES
+    preset, config, workers = parse_driver_args(argv, "repro.experiments.fig5")
+    sizes = effective_sizes(
+        config, SMOKE_SIZES if preset == "smoke" else DEFAULT_SIZES
+    )
+    source = config.dataset or "synthetic"
     print(f"Figure 5 reproduction — preset={preset}, sizes={sizes}, "
-          f"workers={workers}")
+          f"workers={workers}, dataset={source}")
     results = run(config, sizes=sizes, workers=workers)
     print(format_timings(results, sizes))
 

@@ -5,10 +5,14 @@ and returns ``{method: {metric: value-or-None}}``; ``main`` prints the
 table in the paper's layout. Invoke with::
 
     python -m repro.experiments.table2 [smoke|default|large] [workers]
+                                       [--dataset REF]
 
 Methods are independent of one another, so ``workers > 1`` fans the
 per-method jobs across a process pool (``repro.engine``) with results
-identical to the serial run.
+identical to the serial run. ``--dataset`` swaps the synthetic fleet
+for an ingested real dataset (see ``docs/data.md``); the recovery
+metric family is then skipped, as real data carries no route ground
+truth.
 """
 
 from __future__ import annotations
@@ -17,7 +21,11 @@ import sys
 import time
 
 from repro.engine.pool import parallel_map
-from repro.experiments.config import ExperimentConfig, cached_fleet
+from repro.experiments.config import (
+    ExperimentConfig,
+    load_experiment_input,
+    parse_driver_args,
+)
 from repro.experiments.evaluate import METRIC_COLUMNS, evaluate_method
 from repro.experiments.methods import SYNTHETIC_METHODS, build_methods
 
@@ -30,15 +38,16 @@ def _method_job(
     per-process fleet memo avoiding repeated generation."""
     config, name = payload
     started = time.perf_counter()
-    fleet = cached_fleet(config.fleet)
+    inputs = load_experiment_input(config)
     anonymize = build_methods(config)[name]
-    anonymized = anonymize(fleet.dataset)
+    anonymized = anonymize(inputs.dataset)
     evaluation = evaluate_method(
-        fleet.dataset,
+        inputs.dataset,
         anonymized,
-        fleet,
+        inputs.fleet,
         config,
         synthetic=name in SYNTHETIC_METHODS,
+        with_recovery=inputs.fleet is not None,
     )
     return name, evaluation.values, time.perf_counter() - started
 
@@ -84,16 +93,15 @@ def format_table(results: dict[str, dict[str, float | None]]) -> str:
 
 def main(argv: list[str] | None = None) -> None:
     argv = sys.argv[1:] if argv is None else argv
-    preset = argv[0] if argv else "default"
-    workers = int(argv[1]) if len(argv) > 1 else 1
-    config = {
-        "smoke": ExperimentConfig.smoke,
-        "default": ExperimentConfig.default,
-        "large": ExperimentConfig.large,
-    }[preset]()
-    print(f"Table II reproduction — preset={preset}, "
-          f"|D|={config.fleet.n_objects}, eps={config.epsilon}, "
-          f"m={config.signature_size}, workers={workers}")
+    preset, config, workers = parse_driver_args(argv, "repro.experiments.table2")
+    scale = (
+        f"dataset={config.dataset}"
+        if config.dataset
+        else f"|D|={config.fleet.n_objects}"
+    )
+    print(f"Table II reproduction — preset={preset}, {scale}, "
+          f"eps={config.epsilon}, m={config.signature_size}, "
+          f"workers={workers}")
     results = run(config, verbose=True, workers=workers)
     print(format_table(results))
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 import csv
 import math
 from pathlib import Path
-from typing import Iterable
+from typing import Iterable, Iterator
 
 from repro.trajectory.model import Point, Trajectory, TrajectoryDataset
 
@@ -34,34 +34,89 @@ def write_csv(dataset: TrajectoryDataset, path: str | Path) -> None:
                 )
 
 
+CSV_HEADER = ["object_id", "t", "x", "y"]
+
+
+def stream_csv_rows(
+    lines: Iterable[str], source: str = "<stream>"
+) -> Iterator[Trajectory]:
+    """Lazily yield one :class:`Trajectory` per object from CSV lines.
+
+    The memory-bounded core of :func:`stream_csv`/:func:`read_csv`: at
+    any moment it holds only the current object's points, so arbitrarily
+    large files (or unbounded line streams) can be consumed one object
+    at a time. Rows must be grouped by object — as :func:`write_csv`
+    produces — though the groups themselves may come in any order;
+    within a group points are re-sorted by timestamp. Malformed rows and
+    a group whose object id already appeared earlier raise
+    :class:`ValueError` naming ``source`` and the offending line number.
+    """
+    reader = csv.reader(iter(lines))
+    header = next(reader, None)
+    if header != CSV_HEADER:
+        raise ValueError(
+            f"{source}:1: unexpected header {header!r} "
+            f"(expected {','.join(CSV_HEADER)})"
+        )
+    current_id: str | None = None
+    points: list[Point] = []
+    seen: set[str] = set()
+    for row in reader:
+        line = reader.line_num
+        if not row:
+            continue
+        if len(row) != 4:
+            raise ValueError(
+                f"{source}:{line}: expected 4 fields "
+                f"({','.join(CSV_HEADER)}), got {len(row)}: {row!r}"
+            )
+        object_id, t, x, y = row
+        try:
+            point = Point(float(x), float(y), float(t))
+        except ValueError:
+            raise ValueError(
+                f"{source}:{line}: non-numeric t/x/y field in row {row!r}"
+            ) from None
+        if object_id != current_id:
+            if current_id is not None:
+                yield Trajectory(current_id, sorted(points, key=lambda p: p.t))
+            if object_id in seen:
+                raise ValueError(
+                    f"{source}:{line}: rows for object {object_id!r} are "
+                    f"not contiguous; group rows by object before reading"
+                )
+            seen.add(object_id)
+            current_id = object_id
+            points = []
+        points.append(point)
+    if current_id is not None:
+        yield Trajectory(current_id, sorted(points, key=lambda p: p.t))
+
+
+def stream_csv(path: str | Path) -> Iterator[Trajectory]:
+    """Lazily read a :func:`write_csv` file one trajectory at a time.
+
+    Peak memory is one object's points (plus the line buffer), so this
+    is the entry point for datasets too large to materialise — feed it
+    to :func:`repro.data.preprocess.preprocess_stream` or chunk it with
+    :func:`repro.data.stream.chunked`. See ``docs/data.md``.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        yield from stream_csv_rows(handle, source=str(path))
+
+
 def read_csv(path: str | Path) -> TrajectoryDataset:
     """Read a dataset previously written with :func:`write_csv`.
 
-    Rows must be grouped by object (as :func:`write_csv` produces) but
-    objects may appear in any order; points are kept in file order and
-    re-sorted by timestamp per object.
+    A materialising wrapper around :func:`stream_csv`: rows stream
+    through one object at a time rather than being first collected into
+    a per-object dict. Rows must be grouped by object (as
+    :func:`write_csv` produces) but objects may appear in any order;
+    points are re-sorted by timestamp per object. Malformed rows raise
+    :class:`ValueError` with the file name and line number.
     """
-    path = Path(path)
-    points_by_object: dict[str, list[Point]] = {}
-    order: list[str] = []
-    with path.open(newline="") as handle:
-        reader = csv.reader(handle)
-        header = next(reader, None)
-        if header != ["object_id", "t", "x", "y"]:
-            raise ValueError(f"unexpected header in {path}: {header}")
-        for row in reader:
-            if len(row) != 4:
-                raise ValueError(f"malformed row in {path}: {row}")
-            object_id, t, x, y = row
-            if object_id not in points_by_object:
-                points_by_object[object_id] = []
-                order.append(object_id)
-            points_by_object[object_id].append(Point(float(x), float(y), float(t)))
-    trajectories = []
-    for object_id in order:
-        points = sorted(points_by_object[object_id], key=lambda p: p.t)
-        trajectories.append(Trajectory(object_id, points))
-    return TrajectoryDataset(trajectories)
+    return TrajectoryDataset(stream_csv(path))
 
 
 def write_tdrive_directory(dataset: TrajectoryDataset, directory: str | Path) -> None:
@@ -78,24 +133,36 @@ def write_tdrive_directory(dataset: TrajectoryDataset, directory: str | Path) ->
                 )
 
 
+def read_object_file(path: str | Path) -> Trajectory:
+    """Read one per-object ``<object_id>.txt`` file (planar rows).
+
+    The object id is the file stem; points are re-sorted by timestamp.
+    Malformed rows raise :class:`ValueError` with file and line number.
+    """
+    path = Path(path)
+    points = []
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        for row in reader:
+            if not row:
+                continue
+            if len(row) != 4:
+                raise ValueError(
+                    f"{path}:{reader.line_num}: expected 4 fields, "
+                    f"got {len(row)}: {row!r}"
+                )
+            _, t, x, y = row
+            points.append(Point(float(x), float(y), float(t)))
+    points.sort(key=lambda p: p.t)
+    return Trajectory(path.stem, points)
+
+
 def read_tdrive_directory(directory: str | Path) -> TrajectoryDataset:
     """Read a directory written by :func:`write_tdrive_directory`."""
     directory = Path(directory)
-    trajectories = []
-    for target in sorted(directory.glob("*.txt")):
-        points = []
-        object_id = target.stem
-        with target.open(newline="") as handle:
-            for row in csv.reader(handle):
-                if not row:
-                    continue
-                if len(row) != 4:
-                    raise ValueError(f"malformed row in {target}: {row}")
-                _, t, x, y = row
-                points.append(Point(float(x), float(y), float(t)))
-        points.sort(key=lambda p: p.t)
-        trajectories.append(Trajectory(object_id, points))
-    return TrajectoryDataset(trajectories)
+    return TrajectoryDataset(
+        read_object_file(target) for target in sorted(directory.glob("*.txt"))
+    )
 
 
 def project_latlon(

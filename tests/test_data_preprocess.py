@@ -1,0 +1,166 @@
+"""Tests for the preprocessing pipeline in ``repro.data.preprocess``."""
+
+import pytest
+
+from repro.data.preprocess import (
+    IngestStats,
+    PreprocessConfig,
+    preprocess_stream,
+    preprocess_trajectory,
+    resample,
+    split_gaps,
+)
+from repro.trajectory.model import Point, Trajectory
+
+
+def traj(object_id, samples):
+    return Trajectory(object_id, [Point(x, y, t) for t, x, y in samples])
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        PreprocessConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"gap_threshold_s": 0.0},
+            {"min_points": 0},
+            {"bbox": (10.0, 0.0, 0.0, 10.0)},
+            {"resample_dt": -1.0},
+            {"snap": 0.0},
+        ],
+    )
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            PreprocessConfig(**kwargs)
+
+    def test_key_depends_on_knobs(self):
+        base = PreprocessConfig()
+        assert base.key() == PreprocessConfig().key()
+        assert base.key() != PreprocessConfig(gap_threshold_s=60.0).key()
+
+    def test_dict_round_trip(self):
+        config = PreprocessConfig(bbox=(0.0, 0.0, 1.0, 1.0), resample_dt=30.0)
+        assert PreprocessConfig.from_dict(config.to_dict()) == config
+
+
+class TestSplitGaps:
+    def test_exact_threshold_gap_does_not_split(self):
+        points = [Point(0, 0, 0.0), Point(1, 1, 100.0)]
+        assert len(split_gaps(points, threshold_s=100.0)) == 1
+
+    def test_gap_just_over_threshold_splits(self):
+        points = [Point(0, 0, 0.0), Point(1, 1, 100.0 + 1e-6)]
+        trips = split_gaps(points, threshold_s=100.0)
+        assert [len(t) for t in trips] == [1, 1]
+
+    def test_multiple_gaps(self):
+        points = [
+            Point(0, 0, 0.0),
+            Point(0, 0, 10.0),
+            Point(0, 0, 1000.0),
+            Point(0, 0, 1010.0),
+            Point(0, 0, 5000.0),
+        ]
+        trips = split_gaps(points, threshold_s=60.0)
+        assert [len(t) for t in trips] == [2, 2, 1]
+
+    def test_empty(self):
+        assert split_gaps([], 60.0) == []
+
+
+class TestResample:
+    def test_fixed_grid_interpolation(self):
+        points = [Point(0.0, 0.0, 0.0), Point(100.0, 0.0, 100.0)]
+        result = resample(points, dt=25.0)
+        assert [p.t for p in result] == [0.0, 25.0, 50.0, 75.0, 100.0]
+        assert [p.x for p in result] == pytest.approx([0, 25, 50, 75, 100])
+
+    def test_grid_never_extrapolates(self):
+        points = [Point(0.0, 0.0, 0.0), Point(10.0, 0.0, 90.0)]
+        result = resample(points, dt=60.0)
+        assert [p.t for p in result] == [0.0, 60.0]
+
+    def test_single_point_passthrough(self):
+        points = [Point(1.0, 2.0, 3.0)]
+        assert resample(points, dt=10.0) == points
+
+
+class TestPreprocessTrajectory:
+    def test_single_point_trip_dropped_by_default(self):
+        raw = traj("a", [(0.0, 0, 0), (10.0, 1, 1), (10_000.0, 2, 2)])
+        trips = preprocess_trajectory(raw, PreprocessConfig())
+        assert [t.object_id for t in trips] == ["a#0"]
+        assert len(trips[0]) == 2
+
+    def test_single_point_trip_kept_with_min_points_1(self):
+        raw = traj("a", [(0.0, 0, 0), (10.0, 1, 1), (10_000.0, 2, 2)])
+        trips = preprocess_trajectory(raw, PreprocessConfig(min_points=1))
+        assert [t.object_id for t in trips] == ["a#0", "a#1"]
+
+    def test_unsplit_trajectory_keeps_id(self):
+        raw = traj("a", [(0.0, 0, 0), (10.0, 1, 1)])
+        trips = preprocess_trajectory(raw, PreprocessConfig())
+        assert [t.object_id for t in trips] == ["a"]
+
+    def test_sorts_and_dedups_timestamps(self):
+        raw = traj("a", [(10.0, 1, 1), (0.0, 0, 0), (10.0, 9, 9), (20.0, 2, 2)])
+        stats = IngestStats()
+        trips = preprocess_trajectory(raw, PreprocessConfig(), stats)
+        assert [p.t for p in trips[0]] == [0.0, 10.0, 20.0]
+        # First sample of the duplicated instant wins (file order after sort).
+        assert trips[0].points[1].x == 1
+        assert stats.duplicate_timestamps == 1
+
+    def test_bbox_filter(self):
+        raw = traj("a", [(0.0, 0, 0), (10.0, 500, 0), (20.0, 1, 1)])
+        stats = IngestStats()
+        trips = preprocess_trajectory(
+            raw, PreprocessConfig(bbox=(-10.0, -10.0, 10.0, 10.0)), stats
+        )
+        assert len(trips[0]) == 2
+        assert stats.out_of_bbox == 1
+
+    def test_snap_collapses_repeat_visits(self):
+        raw = traj("a", [(0.0, 0.4, 0.0), (10.0, 0.6, 0.0)])
+        trips = preprocess_trajectory(raw, PreprocessConfig(snap=1.0))
+        assert [p.x for p in trips[0]] == [0.0, 1.0]
+
+    def test_resample_applied_per_trip(self):
+        raw = traj("a", [(0.0, 0, 0), (100.0, 100, 0)])
+        trips = preprocess_trajectory(raw, PreprocessConfig(resample_dt=50.0))
+        assert [p.t for p in trips[0]] == [0.0, 50.0, 100.0]
+
+    def test_stats_totals(self):
+        raw = traj("a", [(0.0, 0, 0), (10.0, 1, 1), (10_000.0, 2, 2)])
+        stats = IngestStats()
+        preprocess_trajectory(raw, PreprocessConfig(), stats)
+        assert stats.objects_in == 1
+        assert stats.points_in == 3
+        assert stats.gap_splits == 1
+        assert stats.short_trips == 1
+        assert stats.trips_out == 1
+        assert stats.points_out == 2
+        assert "1 trips" in stats.summary()
+
+
+class TestPreprocessStream:
+    def test_lazy_and_order_preserving(self):
+        pulled = []
+
+        def source():
+            for i in range(5):
+                pulled.append(i)
+                yield traj(f"t{i}", [(0.0, 0, 0), (1.0, 1, 1)])
+
+        stream = preprocess_stream(source(), PreprocessConfig())
+        first = next(stream)
+        assert first.object_id == "t0"
+        assert pulled == [0]  # only one source trajectory consumed so far
+        rest = [t.object_id for t in stream]
+        assert rest == ["t1", "t2", "t3", "t4"]
+
+    def test_default_config(self):
+        trips = list(preprocess_stream([traj("a", [(0.0, 0, 0), (1.0, 1, 1)])]))
+        assert len(trips) == 1

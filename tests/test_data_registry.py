@@ -1,0 +1,319 @@
+"""Tests for the dataset registry, `repro ingest`, and the streaming
+ingest-then-anonymize acceptance path."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.pipeline import GL
+from repro.data.preprocess import PreprocessConfig
+from repro.data.registry import (
+    DATA_FILENAME,
+    META_FILENAME,
+    DatasetRegistry,
+    is_artifact,
+    load_dataset,
+    stream_dataset,
+)
+from repro.engine import BatchAnonymizer
+from repro.trajectory.io import read_csv, write_csv
+from repro.trajectory.model import Point, Trajectory, TrajectoryDataset
+
+
+@pytest.fixture
+def planar_csv(tmp_path):
+    dataset = TrajectoryDataset(
+        [
+            Trajectory(
+                f"obj{i}",
+                [Point(100.0 * i + k, 50.0 * i, 10.0 * k) for k in range(12)],
+            )
+            for i in range(6)
+        ]
+    )
+    path = tmp_path / "fleet.csv"
+    write_csv(dataset, path)
+    return path
+
+
+@pytest.fixture
+def tdrive_dir(tmp_path):
+    raw = tmp_path / "raw"
+    raw.mkdir()
+    (raw / "1.txt").write_text(
+        "1,2008-02-02 15:36:08,116.51172,39.92123\n"
+        "1,2008-02-02 15:46:08,116.51135,39.93883\n"
+        "1,2008-02-02 18:46:08,116.56135,39.93883\n"
+    )
+    (raw / "2.txt").write_text(
+        "2,2008-02-02 15:36:08,116.58000,39.90000\n"
+        "2,2008-02-02 15:40:08,116.59000,39.91000\n"
+    )
+    return raw
+
+
+class TestRegistry:
+    def test_ingest_creates_artifact(self, planar_csv, tmp_path):
+        registry = DatasetRegistry(tmp_path / "reg")
+        result = registry.ingest("fleet", planar_csv)
+        assert result.fresh
+        assert is_artifact(result.path)
+        meta = json.loads((result.path / META_FILENAME).read_text())
+        assert meta["name"] == "fleet"
+        assert meta["format"] == "planar"
+        assert meta["preprocess"] == PreprocessConfig().to_dict()
+        assert meta["stats"]["objects_in"] == 6
+
+    def test_second_ingest_is_cache_hit(self, planar_csv, tmp_path):
+        registry = DatasetRegistry(tmp_path / "reg")
+        first = registry.ingest("fleet", planar_csv)
+        mtime = (first.path / DATA_FILENAME).stat().st_mtime_ns
+        second = registry.ingest("fleet", planar_csv)
+        assert not second.fresh
+        assert (second.path / DATA_FILENAME).stat().st_mtime_ns == mtime
+        assert second.stats.objects_in == 6  # stats restored from meta
+        forced = registry.ingest("fleet", planar_csv, force=True)
+        assert forced.fresh
+
+    def test_changed_source_is_not_a_cache_hit(self, planar_csv, tmp_path):
+        registry = DatasetRegistry(tmp_path / "reg")
+        registry.ingest("fleet", planar_csv)
+        other = tmp_path / "other.csv"
+        write_csv(
+            TrajectoryDataset(
+                [Trajectory("only", [Point(0, 0, 0.0), Point(1, 1, 1.0)])]
+            ),
+            other,
+        )
+        result = registry.ingest("fleet", other)
+        assert result.fresh  # same knobs, different source: re-ingested
+        assert [t.object_id for t in registry.stream("fleet")] == ["only"]
+
+    def test_changed_origin_is_not_a_cache_hit(self, tdrive_dir, tmp_path):
+        registry = DatasetRegistry(tmp_path / "reg")
+        registry.ingest("beijing", tdrive_dir, origin=(39.9, 116.5))
+        again = registry.ingest("beijing", tdrive_dir, origin=(39.9, 116.5))
+        assert not again.fresh
+        moved = registry.ingest("beijing", tdrive_dir, origin=(40.0, 116.0))
+        assert moved.fresh
+
+    def test_config_change_creates_sibling_version(self, planar_csv, tmp_path):
+        registry = DatasetRegistry(tmp_path / "reg")
+        registry.ingest("fleet", planar_csv)
+        registry.ingest("fleet", planar_csv, PreprocessConfig(min_points=3))
+        assert len(registry.versions("fleet")) == 2
+        latest = registry.resolve("fleet")
+        assert latest.name == PreprocessConfig(min_points=3).key()
+        assert registry.names() == ["fleet"]
+
+    def test_resolve_specific_version(self, planar_csv, tmp_path):
+        registry = DatasetRegistry(tmp_path / "reg")
+        result = registry.ingest("fleet", planar_csv)
+        assert registry.resolve("fleet", result.version) == result.path
+        with pytest.raises(KeyError):
+            registry.resolve("fleet", "deadbeef")
+        with pytest.raises(KeyError):
+            registry.resolve("nope")
+
+    def test_load_matches_source(self, planar_csv, tmp_path):
+        registry = DatasetRegistry(tmp_path / "reg")
+        registry.ingest("fleet", planar_csv)
+        loaded = registry.load("fleet")
+        source = read_csv(planar_csv)
+        assert len(loaded) == len(source)
+        for a, b in zip(loaded, source):
+            assert a.object_id == b.object_id
+            assert len(a) == len(b)
+
+    def test_tdrive_ingest_projects_and_splits(self, tdrive_dir, tmp_path):
+        registry = DatasetRegistry(tmp_path / "reg")
+        result = registry.ingest("beijing", tdrive_dir)
+        # Taxi 1 has a 3-hour gap -> split; the single-point tail trip
+        # is dropped by min_points=2.
+        ids = [t.object_id for t in registry.stream("beijing")]
+        assert ids == ["1#0", "2"]
+        assert result.stats.gap_splits == 1
+        assert result.stats.short_trips == 1
+        meta = registry.meta("beijing")
+        assert meta["format"] == "tdrive"
+        assert meta["origin"] is not None
+
+
+class TestDatasetReferences:
+    def test_artifact_directory_and_name(self, planar_csv, tmp_path, monkeypatch):
+        root = tmp_path / "reg"
+        registry = DatasetRegistry(root)
+        result = registry.ingest("fleet", planar_csv)
+        by_path = load_dataset(result.path)
+        monkeypatch.setenv("REPRO_DATA_ROOT", str(root))
+        by_name = load_dataset("fleet")
+        by_pinned = load_dataset(f"fleet@{result.version}")
+        for dataset in (by_name, by_pinned):
+            assert [t.object_id for t in dataset] == [
+                t.object_id for t in by_path
+            ]
+
+    def test_plain_csv_reference(self, planar_csv):
+        assert len(load_dataset(planar_csv)) == 6
+
+    def test_missing_path_is_filenotfound(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_dataset(tmp_path / "nope.csv")
+
+    def test_stream_dataset_is_lazy(self, planar_csv):
+        stream = stream_dataset(planar_csv)
+        assert next(stream).object_id == "obj0"
+
+
+class TestIngestCli:
+    def test_ingest_reports_stats_and_path(self, tdrive_dir, tmp_path, capsys):
+        root = tmp_path / "reg"
+        code = main(
+            ["ingest", "-i", str(tdrive_dir), "--name", "beijing",
+             "--root", str(root)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ingested" in out
+        assert "read 2 objects / 5 points" in out
+        assert "artifact:" in out
+
+    def test_second_run_reports_cache_hit(self, tdrive_dir, tmp_path, capsys):
+        root = tmp_path / "reg"
+        argv = ["ingest", "-i", str(tdrive_dir), "--name", "beijing",
+                "--root", str(root)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        assert "up to date" in capsys.readouterr().out
+
+    def test_knobs_forwarded(self, planar_csv, tmp_path, capsys):
+        root = tmp_path / "reg"
+        code = main(
+            ["ingest", "-i", str(planar_csv), "--name", "fleet",
+             "--root", str(root), "--gap", "15", "--min-points", "3",
+             "--snap", "10"]
+        )
+        assert code == 0
+        registry = DatasetRegistry(root)
+        meta = registry.meta("fleet")
+        assert meta["preprocess"]["gap_threshold_s"] == 15.0
+        assert meta["preprocess"]["min_points"] == 3
+        assert meta["preprocess"]["snap"] == 10.0
+
+
+class TestIngestThenAnonymize:
+    """The acceptance path: artifact in, batch engine, identical bytes."""
+
+    def test_cli_end_to_end_byte_identical(self, planar_csv, tmp_path, capsys):
+        root = tmp_path / "reg"
+        assert main(
+            ["ingest", "-i", str(planar_csv), "--name", "fleet",
+             "--root", str(root)]
+        ) == 0
+        artifact = DatasetRegistry(root).resolve("fleet")
+
+        via_artifact = tmp_path / "via_artifact.csv"
+        via_csv = tmp_path / "via_csv.csv"
+        common = ["--model", "gl", "--signature-size", "3", "--seed", "11"]
+        assert main(
+            ["anonymize", "-i", str(artifact), "-o", str(via_artifact),
+             "--engine", "batch", "--workers", "2", "--executor", "thread",
+             *common]
+        ) == 0
+        assert main(
+            ["anonymize", "-i", str(artifact / DATA_FILENAME),
+             "-o", str(via_csv), *common]
+        ) == 0
+        assert via_artifact.read_text() == via_csv.read_text()
+
+    def test_anonymize_stream_consumes_chunks_lazily(self, planar_csv):
+        from repro.data.stream import chunked
+        from repro.trajectory.io import stream_csv
+
+        pulled = []
+
+        def chunks():
+            for chunk in chunked(stream_csv(planar_csv), 2):
+                pulled.append(len(chunk))
+                yield chunk
+
+        engine = BatchAnonymizer(
+            GL(epsilon=1.0, signature_size=3, seed=5),
+            workers=1,
+            executor="serial",
+        )
+        stream = engine.anonymize_stream(chunks())
+        first, report = next(stream)
+        # Serial streaming: exactly one chunk pulled per result —
+        # the 3-chunk sweep is never materialised up front.
+        assert pulled == [2]
+        assert len(first) == 2
+        assert report.epsilon_total == 1.0
+        rest = list(stream)
+        assert len(rest) == 2
+        assert pulled == [2, 2, 2]
+
+    def test_anonymize_many_accepts_generator_and_matches_serial(
+        self, planar_csv
+    ):
+        dataset = read_csv(planar_csv)
+        engine = BatchAnonymizer(
+            GL(epsilon=1.0, signature_size=3, seed=5),
+            workers=1,
+            executor="serial",
+        )
+        from_stream = engine.anonymize_many(
+            dataset.copy() for _ in range(2)
+        )
+        serial = GL(epsilon=1.0, signature_size=3, seed=5)
+        expected = [serial.anonymize(dataset) for _ in range(2)]
+        for (got, _), want in zip(from_stream, expected):
+            assert [
+                [p.coord for p in t] for t in got
+            ] == [[p.coord for p in t] for t in want]
+
+
+class TestFig5RealDataSizes:
+    def test_sizes_clamped_to_dataset(self, planar_csv, tmp_path, monkeypatch):
+        root = tmp_path / "reg"
+        DatasetRegistry(root).ingest("fleet", planar_csv)  # 6 trajectories
+        monkeypatch.setenv("REPRO_DATA_ROOT", str(root))
+
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.fig5 import effective_sizes
+
+        config = ExperimentConfig.smoke().with_dataset("fleet")
+        assert effective_sizes(config, (4, 100, 200)) == (4, 6)
+        # Synthetic mode passes through untouched.
+        assert effective_sizes(
+            ExperimentConfig.smoke(), (4, 100, 200)
+        ) == (4, 100, 200)
+
+
+class TestExperimentRealDataMode:
+    def test_fig4_runs_on_ingested_dataset(self, planar_csv, tmp_path, monkeypatch):
+        root = tmp_path / "reg"
+        DatasetRegistry(root).ingest("fleet", planar_csv)
+        monkeypatch.setenv("REPRO_DATA_ROOT", str(root))
+
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.fig4 import run
+
+        config = ExperimentConfig.smoke().with_dataset("fleet")
+        series = run(config, epsilons=(1.0,))
+        # Utility metrics computed; recovery panels skipped (no ground
+        # truth routes on real data).
+        assert series["INF"]["GL"][0] is not None
+        assert series["F-score"]["GL"][0] is None
+
+    def test_cli_experiment_dataset_flag(self, planar_csv, tmp_path, monkeypatch, capsys):
+        root = tmp_path / "reg"
+        DatasetRegistry(root).ingest("fleet", planar_csv)
+        monkeypatch.setenv("REPRO_DATA_ROOT", str(root))
+        code = main(
+            ["experiment", "fig5", "--preset", "smoke", "--dataset", "fleet"]
+        )
+        assert code == 0
+        assert "dataset=fleet" in capsys.readouterr().out

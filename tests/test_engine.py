@@ -9,7 +9,12 @@ import pytest
 
 from repro.core.pipeline import GL, PureL
 from repro.datagen.generator import FleetConfig, generate_fleet
-from repro.engine import BatchAnonymizer, parallel_map, resolve_workers
+from repro.engine import (
+    BatchAnonymizer,
+    parallel_map,
+    parallel_map_stream,
+    resolve_workers,
+)
 from repro.engine.batch import _chunks
 
 
@@ -50,6 +55,57 @@ class TestParallelMap:
 
         with pytest.raises(RuntimeError):
             parallel_map(boom, [1, 2, 3], workers=2, executor="thread")
+
+
+class TestParallelMapStream:
+    def test_preserves_order(self):
+        got = list(
+            parallel_map_stream(
+                lambda x: x * x, range(20), workers=4, executor="thread"
+            )
+        )
+        assert got == [x * x for x in range(20)]
+
+    def test_serial_path_is_lazy(self):
+        pulled = []
+
+        def source():
+            for i in range(10):
+                pulled.append(i)
+                yield i
+
+        stream = parallel_map_stream(lambda x: x, source(), workers=1)
+        assert next(stream) == 0
+        assert pulled == [0]
+
+    def test_pool_path_bounds_in_flight_window(self):
+        pulled = []
+
+        def source():
+            for i in range(50):
+                pulled.append(i)
+                yield i
+
+        stream = parallel_map_stream(
+            lambda x: x, source(), workers=2, executor="thread", prefetch=2
+        )
+        assert next(stream) == 0
+        # window = workers * prefetch = 4 items in flight, +1 for the
+        # element pulled after the first yield resumed the loop.
+        assert len(pulled) <= 5
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            list(parallel_map_stream(lambda x: x, [1], executor="gpu"))
+        with pytest.raises(ValueError):
+            list(parallel_map_stream(lambda x: x, [1], prefetch=0))
+
+    def test_exceptions_propagate(self):
+        def boom(x):
+            raise RuntimeError("job failed")
+
+        with pytest.raises(RuntimeError):
+            list(parallel_map_stream(boom, [1, 2], workers=2, executor="thread"))
 
 
 class TestChunks:
