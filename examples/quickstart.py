@@ -6,7 +6,7 @@ Run with::
     python examples/quickstart.py
 """
 
-from repro import FleetConfig, GL, generate_fleet
+from repro import FleetConfig, MethodSpec, generate_fleet, run
 
 def main() -> None:
     # 1. A synthetic T-Drive-like fleet: 40 taxis on a road network,
@@ -18,12 +18,15 @@ def main() -> None:
 
     # 2. The paper's full model: global TF + local PF randomization,
     #    total privacy budget eps = 1.0 split evenly (Theorem 1).
-    anonymizer = GL(epsilon=1.0, signature_size=5, seed=0)
-    private = anonymizer.anonymize(fleet.dataset)
+    #    A MethodSpec names any registered method declaratively; run()
+    #    returns the output and the run report together.
+    spec = MethodSpec("gl", {"epsilon": 1.0, "signature_size": 5, "seed": 0})
+    result = run(spec, fleet.dataset)
+    private = result.dataset
     print("anonymized:", private.stats())
 
     # 3. What happened, exactly?
-    report = anonymizer.last_report
+    report = result.report
     print(f"\ntotal privacy budget  eps = {report.epsilon_total}")
     for label, epsilon in report.budget_ledger:
         print(f"  spent {epsilon:.2f} on {label}")

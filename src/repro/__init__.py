@@ -12,20 +12,24 @@ from repro.trajectory.model import Point, Trajectory, TrajectoryDataset
 from repro.datagen.generator import FleetConfig, FleetResult, generate_fleet
 from repro.datagen.road_network import RoadNetwork, build_road_network
 from repro.core.pipeline import GL, FrequencyAnonymizer, PureG, PureL
+from repro.api import MethodSpec, RunResult, run
 
 __all__ = [
     "FleetConfig",
     "FleetResult",
     "FrequencyAnonymizer",
     "GL",
+    "MethodSpec",
     "Point",
     "PureG",
     "PureL",
     "RoadNetwork",
+    "RunResult",
     "Trajectory",
     "TrajectoryDataset",
     "build_road_network",
     "generate_fleet",
+    "run",
 ]
 
 __version__ = "1.0.0"

@@ -1,0 +1,51 @@
+"""repro.api — the one front door to every anonymization method.
+
+Three pieces:
+
+* :class:`MethodSpec` (:mod:`repro.api.spec`) — a frozen, validated,
+  picklable ``(kind, params)`` description of a configured method,
+  with ``to_dict``/``from_dict`` and a stable config :attr:`digest
+  <repro.api.spec.MethodSpec.digest>`; the engine's cross-process
+  payload and the provenance recorded in reports;
+* the **method registry** (:mod:`repro.api.registry`) — string-keyed
+  :func:`register` decorator covering GL/PureG/PureL and every
+  Table II baseline, with ``repro.methods`` entry-point discovery for
+  third-party plugins; :func:`method_names`/:func:`method_info` list
+  it, :func:`build` constructs from a spec;
+* :func:`run` (:mod:`repro.api.session`) — execute a spec against a
+  dataset on the serial or batch engine and get a :class:`RunResult`
+  (output dataset + report + spec + timing) back in one value, with
+  no shared mutable state.
+
+The CLI (``repro anonymize --method``, ``repro methods``) and the
+experiment drivers are thin layers over exactly these calls.
+"""
+
+from repro.api.spec import MethodSpec, canonical_digest, canonical_json
+from repro.api.registry import (
+    ENTRY_POINT_GROUP,
+    FAMILIES,
+    MethodInfo,
+    build,
+    method_info,
+    method_names,
+    register,
+)
+from repro.api.session import ENGINE_KINDS, RunResult, as_spec, run
+
+__all__ = [
+    "ENGINE_KINDS",
+    "ENTRY_POINT_GROUP",
+    "FAMILIES",
+    "MethodInfo",
+    "MethodSpec",
+    "RunResult",
+    "as_spec",
+    "build",
+    "canonical_digest",
+    "canonical_json",
+    "method_info",
+    "method_names",
+    "register",
+    "run",
+]

@@ -1,0 +1,135 @@
+"""Run a method spec against a dataset and get everything back at once.
+
+:func:`run` is the front door the CLI, the experiment drivers, and
+library users share: build the method a :class:`MethodSpec` describes,
+anonymize, and return a :class:`RunResult` bundling the output
+dataset, the :class:`~repro.core.pipeline.AnonymizationReport` (for
+frequency-family methods), the spec itself, and wall-clock timing.
+
+Results travel **with the return value** — nothing is stashed on
+shared instances, so concurrent runs can never clobber each other's
+reports (the ``last_report`` attribute survives only as a deprecated
+alias on the pipeline classes).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.api.registry import build, method_info
+from repro.api.spec import MethodSpec
+from repro.core.pipeline import AnonymizationReport, FrequencyAnonymizer
+from repro.trajectory.model import TrajectoryDataset
+
+#: Engine choices of :func:`run`. ``"batch"`` shards the local stage
+#: of frequency-family methods across a worker pool, byte-identical
+#: to ``"serial"`` for the same seed.
+ENGINE_KINDS = ("serial", "batch")
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Everything one anonymization run produced, bundled together."""
+
+    #: The anonymized dataset D*.
+    dataset: TrajectoryDataset
+    #: The pipeline's run report; ``None`` for methods outside the
+    #: frequency family (baselines publish no budget ledger).
+    report: AnonymizationReport | None
+    #: The spec that produced this result (provenance; its
+    #: :attr:`~repro.api.spec.MethodSpec.digest` identifies the
+    #: configuration).
+    spec: MethodSpec
+    #: Wall-clock seconds of the anonymize call itself.
+    seconds: float
+    #: Which engine ran it: ``"serial"`` or ``"batch"``.
+    engine: str
+
+    @property
+    def utility_loss(self) -> float | None:
+        """Total modification cost, when the method reports one."""
+        return None if self.report is None else self.report.utility_loss
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable provenance summary (no dataset payload)."""
+        return {
+            "spec": self.spec.to_dict(),
+            "digest": self.spec.digest,
+            "engine": self.engine,
+            "seconds": self.seconds,
+            "trajectories": len(self.dataset),
+            "report": None if self.report is None else self.report.to_dict(),
+        }
+
+
+def as_spec(spec: MethodSpec | str | Mapping[str, Any]) -> MethodSpec:
+    """Coerce a spec, bare kind, or ``to_dict`` payload to a spec."""
+    if isinstance(spec, MethodSpec):
+        return spec
+    if isinstance(spec, str):
+        return MethodSpec(spec)
+    if isinstance(spec, Mapping):
+        return MethodSpec.from_dict(spec)
+    raise TypeError(
+        f"expected a MethodSpec, kind string, or spec dict, "
+        f"got {type(spec).__name__}"
+    )
+
+
+def run(
+    spec: MethodSpec | str | Mapping[str, Any],
+    data: TrajectoryDataset,
+    *,
+    engine: str = "serial",
+    workers: int | None = None,
+    executor: str = "process",
+    shards_per_worker: int = 4,
+) -> RunResult:
+    """Anonymize ``data`` as ``spec`` describes; return a :class:`RunResult`.
+
+    ``engine="batch"`` routes frequency-family methods through
+    :class:`repro.engine.BatchAnonymizer` (``workers`` / ``executor`` /
+    ``shards_per_worker`` configure the pool) with output byte-identical
+    to the serial path for the same seed; other families run the method
+    as-is and reject the batch engine explicitly.
+    """
+    spec = as_spec(spec)
+    if engine not in ENGINE_KINDS:
+        raise ValueError(
+            f"unknown engine {engine!r}; choose from {ENGINE_KINDS}"
+        )
+    anonymizer = build(spec)
+    if engine == "batch":
+        if not isinstance(anonymizer, FrequencyAnonymizer):
+            info = method_info(spec.kind)
+            raise ValueError(
+                f"engine='batch' requires a frequency-family method; "
+                f"{spec.kind!r} is family {info.family!r}"
+            )
+        # Lazy so `import repro.api` stays light; the engine is only
+        # needed when a batch run is actually requested.
+        from repro.engine.batch import BatchAnonymizer
+
+        front = BatchAnonymizer(
+            anonymizer,
+            workers=workers,
+            executor=executor,
+            shards_per_worker=shards_per_worker,
+        )
+        started = time.perf_counter()
+        dataset, report = front.anonymize_with_report(data)
+        seconds = time.perf_counter() - started
+    elif isinstance(anonymizer, FrequencyAnonymizer):
+        started = time.perf_counter()
+        dataset, report = anonymizer.anonymize_with_report(data)
+        seconds = time.perf_counter() - started
+    else:
+        started = time.perf_counter()
+        dataset = anonymizer.anonymize(data)
+        seconds = time.perf_counter() - started
+        report = None
+    return RunResult(
+        dataset=dataset, report=report, spec=spec, seconds=seconds, engine=engine
+    )

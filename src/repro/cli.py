@@ -4,7 +4,8 @@ Subcommands::
 
     repro generate   synthesize a fleet and write it as CSV
     repro ingest     preprocess a raw dataset into a cached artifact
-    repro anonymize  apply PureG / PureL / GL to a dataset
+    repro methods    list every registered anonymization method
+    repro anonymize  apply any registered method to a dataset
     repro attack     run the linkage attack between two datasets
     repro evaluate   compute utility metrics between two datasets
     repro experiment regenerate a table/figure of the paper
@@ -12,10 +13,17 @@ Subcommands::
 Dataset arguments accept a planar CSV path, a preprocessed-artifact
 directory, or an ingested registry name (see ``docs/data.md``).
 
+``anonymize`` is a thin shell over :func:`repro.api.run`: pick a
+method with ``--model`` (the paper's GL/PureG/PureL) or ``--method``
+(any registry kind, including every baseline and third-party
+plugins), tune it with the shared flags plus repeatable
+``--param name=value`` overrides.
+
 Example session::
 
     repro generate --objects 50 --points 150 -o fleet.csv
     repro anonymize -i fleet.csv -o private.csv --model gl --epsilon 1.0
+    repro anonymize -i fleet.csv -o synthetic.csv --method adatrace
     repro attack -i fleet.csv -a private.csv --kind spatial
     repro evaluate -i fleet.csv -a private.csv
 """
@@ -23,10 +31,11 @@ Example session::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
+from repro.api import MethodSpec, method_info, method_names, run
 from repro.attacks.linkage import SIGNATURE_KINDS, LinkageAttack
-from repro.core.pipeline import GL, FrequencyAnonymizer, PureG, PureL
 from repro.datagen.generator import FleetConfig, generate_fleet
 from repro.metrics.privacy import mutual_information
 from repro.metrics.utility import (
@@ -114,6 +123,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="re-ingest even when a matching artifact is cached",
     )
 
+    methods = sub.add_parser(
+        "methods", help="list every registered anonymization method"
+    )
+    methods.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="also list each method's parameters and defaults",
+    )
+
     anonymize = sub.add_parser("anonymize", help="anonymize a dataset")
     anonymize.add_argument(
         "-i", "--input", required=True,
@@ -121,6 +138,21 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     anonymize.add_argument("-o", "--output", required=True)
     anonymize.add_argument("--model", choices=MODELS, default="gl")
+    anonymize.add_argument(
+        "--method",
+        default=None,
+        metavar="NAME",
+        help="any registered method kind (see `repro methods`); "
+        "overrides --model",
+    )
+    anonymize.add_argument(
+        "--param",
+        action="append",
+        default=None,
+        metavar="NAME=VALUE",
+        help="extra method parameter (repeatable); values are parsed "
+        "as JSON, falling back to plain strings",
+    )
     anonymize.add_argument("--epsilon", type=float, default=1.0)
     anonymize.add_argument("--signature-size", type=int, default=10)
     anonymize.add_argument("--seed", type=int, default=None)
@@ -207,18 +239,43 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _make_anonymizer(args: argparse.Namespace) -> FrequencyAnonymizer:
-    common = dict(
-        signature_size=args.signature_size,
-        index_backend=args.index,
-        search_strategy=args.strategy,
-        seed=args.seed,
-    )
-    if args.model == "gl":
-        return GL(epsilon=args.epsilon, **common)
-    if args.model == "pureg":
-        return PureG(epsilon=args.epsilon, **common)
-    return PureL(epsilon=args.epsilon, **common)
+def _parse_param(override: str) -> tuple[str, object]:
+    """``name=value`` → (name, value); values parse as JSON or string."""
+    name, separator, raw = override.partition("=")
+    if not separator or not name:
+        raise ValueError(
+            f"--param expects NAME=VALUE, got {override!r}"
+        )
+    try:
+        value = json.loads(raw)
+    except ValueError:
+        value = raw
+    return name, value
+
+
+def _build_spec(args: argparse.Namespace) -> MethodSpec:
+    """The :class:`MethodSpec` an ``anonymize`` invocation describes.
+
+    ``--method`` (any registry kind) overrides ``--model``. Shared
+    flags (``--epsilon``/``--seed``/...) flow into the spec only when
+    the chosen method declares the matching parameter; ``--param``
+    overrides win last and may name any declared parameter.
+    """
+    kind = args.method or args.model
+    info = method_info(kind)  # raises listing alternatives
+    accepted = set(info.signature.parameters)
+    flags = {
+        "epsilon": args.epsilon,
+        "signature_size": args.signature_size,
+        "seed": args.seed,
+        "index_backend": args.index,
+        "search_strategy": args.strategy,
+    }
+    params = {name: value for name, value in flags.items() if name in accepted}
+    for override in args.param or ():
+        name, value = _parse_param(override)
+        params[name] = value
+    return MethodSpec(kind, params)
 
 
 def _cmd_ingest(args: argparse.Namespace) -> int:
@@ -252,25 +309,59 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_anonymize(args: argparse.Namespace) -> int:
-    dataset = load_dataset(args.input)
-    anonymizer = _make_anonymizer(args)
-    if args.engine == "batch":
-        from repro.engine import BatchAnonymizer
-
-        engine = BatchAnonymizer(
-            anonymizer, workers=args.workers, executor=args.executor
+def _cmd_methods(args: argparse.Namespace) -> int:
+    names = method_names()
+    width = max(len(name) for name in names)
+    family_width = max(len(method_info(name).family) for name in names)
+    for name in names:
+        info = method_info(name)
+        marker = "synthetic" if info.synthetic else ""
+        print(
+            f"{name:<{width}s}  {info.family:<{family_width}s}  "
+            f"{marker:<9s}  {info.summary}"
         )
-        private = engine.anonymize(dataset)
+        if args.verbose:
+            for parameter, default in info.default_params().items():
+                print(f"{'':<{width}s}    --param {parameter}={default!r}")
+    return 0
+
+
+def _cmd_anonymize(args: argparse.Namespace) -> int:
+    try:
+        spec = _build_spec(args)
+    except (ValueError, TypeError) as exc:
+        print(f"repro anonymize: {exc}", file=sys.stderr)
+        return 2
+    dataset = load_dataset(args.input)
+    try:
+        result = run(
+            spec,
+            dataset,
+            engine=args.engine,
+            workers=args.workers,
+            executor=args.executor,
+        )
+    except (ValueError, TypeError) as exc:
+        print(f"repro anonymize: {exc}", file=sys.stderr)
+        return 2
+    write_csv(result.dataset, args.output)
+    report = result.report
+    if report is not None:
+        print(
+            f"anonymized {len(result.dataset)} trajectories with "
+            f"{spec.kind.upper()} (eps = {report.epsilon_total:g}) "
+            f"-> {args.output}"
+        )
+        for label, epsilon in report.budget_ledger:
+            print(f"  budget: {epsilon:g} on {label}")
+        print(f"  utility loss: {report.utility_loss / 1000.0:.2f} km")
     else:
-        private = anonymizer.anonymize(dataset)
-    write_csv(private, args.output)
-    report = anonymizer.last_report
-    print(f"anonymized {len(private)} trajectories with {args.model.upper()} "
-          f"(eps = {report.epsilon_total:g}) -> {args.output}")
-    for label, epsilon in report.budget_ledger:
-        print(f"  budget: {epsilon:g} on {label}")
-    print(f"  utility loss: {report.utility_loss / 1000.0:.2f} km")
+        print(
+            f"anonymized {len(result.dataset)} trajectories with "
+            f"{spec.kind.upper()} -> {args.output}"
+        )
+    print(f"  method: {spec.kind} (config digest {spec.digest}, "
+          f"{result.seconds:.2f}s, engine {result.engine})")
     return 0
 
 
@@ -316,6 +407,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "generate": _cmd_generate,
         "ingest": _cmd_ingest,
+        "methods": _cmd_methods,
         "anonymize": _cmd_anonymize,
         "attack": _cmd_attack,
         "evaluate": _cmd_evaluate,

@@ -16,8 +16,9 @@ from __future__ import annotations
 import hashlib
 import math
 import random
+import threading
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.core.global_mechanism import GlobalTFMechanism, TFPerturbation
 from repro.core.laplace import PrivacyAccountant
@@ -30,6 +31,9 @@ from repro.core.modification import (
 )
 from repro.core.signature import SignatureExtractor, SignatureIndex
 from repro.trajectory.model import Trajectory, TrajectoryDataset
+
+if TYPE_CHECKING:  # imported lazily at runtime to keep core below api
+    from repro.api.spec import MethodSpec
 
 
 def derive_seed(*tokens: object) -> int:
@@ -73,6 +77,9 @@ class AnonymizationReport:
     local_report: ModificationReport | None = None
     tf_perturbation: TFPerturbation | None = None
     pf_perturbations: dict[str, PFPerturbation] | None = None
+    #: Provenance: the :class:`~repro.api.spec.MethodSpec` describing
+    #: the configuration that produced this run.
+    spec: "MethodSpec | None" = None
 
     @property
     def utility_loss(self) -> float:
@@ -97,6 +104,11 @@ class AnonymizationReport:
             }
 
         return {
+            "method": (
+                None
+                if self.spec is None
+                else {**self.spec.to_dict(), "digest": self.spec.digest}
+            ),
             "epsilon_total": self.epsilon_total,
             "budget_ledger": [
                 {"mechanism": label, "epsilon": epsilon}
@@ -196,14 +208,17 @@ class FrequencyAnonymizer:
             if self.epsilon_local
             else None
         )
+        #: Deprecated alias: the report of the most recent
+        #: :meth:`anonymize` call. Unsafe under concurrency — prefer
+        #: :meth:`anonymize_with_report` (or :func:`repro.api.run`),
+        #: which return the report with the result.
         self.last_report: AnonymizationReport | None = None
         #: How many anonymize() calls this instance has served; mixes
         #: into each call's base seed so successive datasets get fresh
-        #: noise while the run as a whole stays reproducible.
+        #: noise while the run as a whole stays reproducible. Reserved
+        #: under a lock so concurrent calls never share a stream.
         self._call_count = 0
-        #: Engine hook: when set, executes the local stage instead of
-        #: the serial loop (see :class:`repro.engine.BatchAnonymizer`).
-        self._local_runner: LocalRunner | None = None
+        self._call_lock = threading.Lock()
 
     def config(self) -> dict:
         """Constructor kwargs reproducing this configuration.
@@ -231,11 +246,51 @@ class FrequencyAnonymizer:
         """Total privacy budget ε = ε_G + ε_L (Theorem 1)."""
         return self.epsilon_global + self.epsilon_local
 
+    def spec(self) -> "MethodSpec":
+        """This configuration as a declarative, serializable spec.
+
+        Kind ``"frequency"`` with :meth:`config` as params — the
+        canonical form: ``repro.api.build(spec)`` (equivalently
+        ``FrequencyAnonymizer(**spec.params)``) rebuilds an equivalent
+        instance, and :attr:`~repro.api.spec.MethodSpec.digest` is its
+        stable configuration identity. This is the engine's
+        cross-process payload and the provenance recorded in reports.
+        """
+        from repro.api.spec import MethodSpec
+
+        return MethodSpec("frequency", self.config())
+
+    def reserve_call_index(self) -> int:
+        """Atomically claim the next per-call noise-stream index."""
+        with self._call_lock:
+            index = self._call_count
+            self._call_count = index + 1
+            return index
+
     def anonymize(self, dataset: TrajectoryDataset) -> TrajectoryDataset:
         """Produce the ε-differentially-private dataset D*.
 
-        The input is never mutated. Details of the run are stored in
-        :attr:`last_report`.
+        Thin wrapper over :meth:`anonymize_with_report` that also
+        stores the report in the deprecated :attr:`last_report` alias.
+        """
+        result, report = self.anonymize_with_report(dataset)
+        self.last_report = report
+        return result
+
+    def anonymize_with_report(
+        self,
+        dataset: TrajectoryDataset,
+        *,
+        local_runner: LocalRunner | None = None,
+        call_index: int | None = None,
+    ) -> tuple[TrajectoryDataset, AnonymizationReport]:
+        """Produce D* and its :class:`AnonymizationReport` together.
+
+        The input is never mutated and no result state is stored on
+        the instance, so concurrent calls (e.g. under the batch
+        engine's thread executor) can never observe each other's
+        report — only the per-call stream counter is shared, and it is
+        reserved atomically.
 
         Noise streams: each call derives a base seed from ``(seed,
         call index)``, and each stage (and each trajectory within the
@@ -244,15 +299,20 @@ class FrequencyAnonymizer:
         a fresh instance with the same seed replays the same call
         sequence byte-for-byte — and the per-trajectory streams make
         the local stage order- and shard-independent.
+
+        ``local_runner`` overrides the local-stage executor for this
+        call only (the batch engine's sharding hook); ``call_index``
+        pins the per-call stream explicitly instead of reserving the
+        next one (worker processes replaying a specific call).
         """
-        call_index = self._call_count
-        self._call_count += 1
+        if call_index is None:
+            call_index = self.reserve_call_index()
         if self.seed is None:
             base_seed = random.getrandbits(64)
         else:
             base_seed = derive_seed("run", self.seed, call_index)
         accountant = PrivacyAccountant(self.epsilon)
-        report = AnonymizationReport(epsilon_total=self.epsilon)
+        report = AnonymizationReport(epsilon_total=self.epsilon, spec=self.spec())
 
         stages = ["global", "local"] if self.global_first else ["local", "global"]
         current = dataset
@@ -260,11 +320,12 @@ class FrequencyAnonymizer:
             if stage == "global" and self._global is not None:
                 current = self._run_global(current, base_seed, accountant, report)
             elif stage == "local" and self._local is not None:
-                current = self._run_local(current, base_seed, accountant, report)
+                current = self._run_local(
+                    current, base_seed, accountant, report, local_runner
+                )
 
         report.budget_ledger = accountant.ledger()
-        self.last_report = report
-        return current
+        return current, report
 
     def _run_global(
         self,
@@ -291,10 +352,11 @@ class FrequencyAnonymizer:
         base_seed: int,
         accountant: PrivacyAccountant,
         report: AnonymizationReport,
+        local_runner: LocalRunner | None = None,
     ) -> TrajectoryDataset:
         accountant.spend("local PF randomization", self.epsilon_local)
         signature_index = self.extractor.extract(dataset)
-        runner = self._local_runner or self._run_local_serial
+        runner = local_runner or self._run_local_serial
         results = runner(dataset, signature_index, base_seed)
         perturbations: dict[str, PFPerturbation] = {}
         modified = []

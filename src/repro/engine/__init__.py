@@ -6,7 +6,11 @@ Two pieces built for the "as fast as the hardware allows" roadmap:
   PF stage of a :class:`~repro.core.pipeline.FrequencyAnonymizer`
   across a worker pool (and fans whole-dataset sweeps with
   ``anonymize_many``), byte-identical to the serial path for the same
-  seed thanks to per-trajectory derived noise streams;
+  seed thanks to per-trajectory derived noise streams. Sweeps ship
+  declarative :class:`~repro.api.spec.MethodSpec` payloads — not live
+  objects — across process boundaries, and results travel with the
+  return value (``anonymize_with_report`` / the ``(dataset, report)``
+  pairs of ``anonymize_stream``), never through shared mutable state;
 * :func:`parallel_map` — the deterministic order-preserving pool
   primitive the experiment drivers reuse for their sweeps.
 

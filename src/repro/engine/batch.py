@@ -19,8 +19,9 @@ is byte-identical to the serial path for the same seed.
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.core.local_mechanism import LocalPFMechanism
 from repro.core.modification import IntraTrajectoryModifier, make_index_factory
@@ -38,6 +39,9 @@ from repro.engine.pool import (
     resolve_workers,
 )
 from repro.trajectory.model import Trajectory, TrajectoryDataset
+
+if TYPE_CHECKING:  # engine sits below repro.api; runtime imports are lazy
+    from repro.api.spec import MethodSpec
 
 
 @dataclass(frozen=True, slots=True)
@@ -82,18 +86,19 @@ def _run_local_shard(shard: _LocalShard) -> list[LocalResult]:
     return results
 
 
-def _anonymize_one(payload: tuple[dict, int, TrajectoryDataset]):
+def _anonymize_one(payload: tuple[MethodSpec, int, TrajectoryDataset]):
     """Worker: full anonymization of one dataset of a sweep.
 
-    Rebuilds the anonymizer from its config and fast-forwards the call
-    counter so dataset ``i`` of the sweep draws exactly the noise the
+    Rebuilds the anonymizer from its :class:`MethodSpec` (the
+    declarative cross-process payload) and pins the reserved call
+    index so dataset ``i`` of the sweep draws exactly the noise the
     ``i``-th sequential call on a single instance would draw.
     """
-    config, call_index, dataset = payload
-    anonymizer = FrequencyAnonymizer(**config)
-    anonymizer._call_count = call_index
-    result = anonymizer.anonymize(dataset)
-    return result, anonymizer.last_report
+    spec, call_index, dataset = payload
+    from repro.api.registry import build  # lazy: engine sits below api
+
+    anonymizer = build(spec)
+    return anonymizer.anonymize_with_report(dataset, call_index=call_index)
 
 
 class BatchAnonymizer:
@@ -136,20 +141,45 @@ class BatchAnonymizer:
 
     @property
     def last_report(self) -> AnonymizationReport | None:
+        """Deprecated: the wrapped anonymizer's most recent report.
+
+        Mutable shared state — concurrent runs clobber it. Use
+        :meth:`anonymize_with_report` (or :func:`repro.api.run`), which
+        return the report with the result.
+        """
+        warnings.warn(
+            "BatchAnonymizer.last_report is deprecated; use "
+            "anonymize_with_report() or repro.api.run(), which return "
+            "the report with the result",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.anonymizer.last_report
 
     def anonymize(self, dataset: TrajectoryDataset) -> TrajectoryDataset:
         """ε-DP anonymization, local stage fanned across the pool.
 
         Byte-identical to ``self.anonymizer.anonymize(dataset)`` for
-        the same seed and call index.
+        the same seed and call index. Also refreshes the deprecated
+        ``last_report`` alias; prefer :meth:`anonymize_with_report`.
         """
-        previous = self.anonymizer._local_runner
-        self.anonymizer._local_runner = self._run_local_sharded
-        try:
-            return self.anonymizer.anonymize(dataset)
-        finally:
-            self.anonymizer._local_runner = previous
+        result, report = self.anonymize_with_report(dataset)
+        self.anonymizer.last_report = report
+        return result
+
+    def anonymize_with_report(
+        self, dataset: TrajectoryDataset
+    ) -> tuple[TrajectoryDataset, AnonymizationReport]:
+        """Anonymize and return ``(dataset, report)`` together.
+
+        Nothing is stored on the wrapped anonymizer — the sharding
+        hook travels as a per-call argument — so concurrent calls on
+        one engine are safe: each gets its own report and its own
+        atomically reserved noise stream.
+        """
+        return self.anonymizer.anonymize_with_report(
+            dataset, local_runner=self._run_local_sharded
+        )
 
     def anonymize_stream(
         self, datasets: Iterable[TrajectoryDataset]
@@ -164,13 +194,11 @@ class BatchAnonymizer:
         each dataset draws the same per-call noise stream the ``i``-th
         sequential ``anonymize`` call on the wrapped instance would.
         """
-        config = self.anonymizer.config()
+        spec = self.anonymizer.spec()
 
-        def payloads() -> Iterator[tuple[dict, int, TrajectoryDataset]]:
+        def payloads() -> Iterator[tuple[MethodSpec, int, TrajectoryDataset]]:
             for dataset in datasets:
-                call_index = self.anonymizer._call_count
-                self.anonymizer._call_count = call_index + 1
-                yield (config, call_index, dataset)
+                yield (spec, self.anonymizer.reserve_call_index(), dataset)
 
         for result, report in parallel_map_stream(
             _anonymize_one,
@@ -178,9 +206,10 @@ class BatchAnonymizer:
             workers=self.workers,
             executor=self.executor,
         ):
-            # Keep the last_report convention intact: the sweep ran on
-            # throwaway worker-side instances, so reflect each report
-            # onto the wrapped anonymizer the property reads.
+            # Keep the deprecated last_report alias fresh: the sweep
+            # ran on throwaway worker-side instances, so reflect each
+            # report onto the wrapped anonymizer. The authoritative
+            # channel is the yielded (result, report) pair.
             self.anonymizer.last_report = report
             yield result, report
 

@@ -155,6 +155,20 @@ class ExperimentConfig:
             recovery_max_points=200,
         )
 
+    def model_params(self, epsilon: float | None = None) -> dict:
+        """Spec params for a frequency model (GL/PureG/PureL) run.
+
+        The shared ``(epsilon, signature_size, seed)`` triple every
+        frequency-model :class:`~repro.api.spec.MethodSpec` of the
+        experiment harness derives from; ``epsilon`` defaults to the
+        config's total budget (Table II halves it for the pure models).
+        """
+        return {
+            "epsilon": self.epsilon if epsilon is None else epsilon,
+            "signature_size": self.signature_size,
+            "seed": self.seed,
+        }
+
     def with_epsilon(self, epsilon: float) -> "ExperimentConfig":
         return replace(self, epsilon=epsilon)
 

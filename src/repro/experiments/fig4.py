@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import sys
 
+from repro.api import run as run_spec
 from repro.engine.pool import parallel_map
 from repro.experiments.config import (
     ExperimentConfig,
@@ -26,7 +27,7 @@ from repro.experiments.config import (
     parse_driver_args,
 )
 from repro.experiments.evaluate import evaluate_method
-from repro.experiments.methods import build_our_models
+from repro.experiments.methods import our_model_specs
 
 #: The paper sweeps ε over [0.1, 10].
 DEFAULT_EPSILONS = (0.1, 0.5, 1.0, 2.0, 5.0, 10.0)
@@ -46,8 +47,8 @@ def _sweep_job(
     config, epsilon, model = payload
     inputs = load_experiment_input(config)
     swept = config.with_epsilon(epsilon)
-    anonymize = build_our_models(swept)[model]
-    anonymized = anonymize(inputs.dataset)
+    spec = our_model_specs(swept)[model]
+    anonymized = run_spec(spec, inputs.dataset).dataset
     evaluation = evaluate_method(
         inputs.dataset,
         anonymized,

@@ -31,8 +31,8 @@ import sys
 import time
 from dataclasses import replace
 
+from repro.api import MethodSpec, run as run_spec
 from repro.core.modification import index_extent
-from repro.core.pipeline import PureG, PureL
 from repro.core.signature import SignatureExtractor
 from repro.datagen.generator import generate_fleet
 from repro.experiments.config import (
@@ -170,36 +170,21 @@ def modification_timings(
     timings: dict[str, list[float]] = {"Local": [], "Global": []}
     if workers > 1:
         timings["Local-batch"] = []
+    half = config.model_params(config.epsilon / 2)
+    pureg = MethodSpec("pureg", half)
+    purel = MethodSpec("purel", half)
     for size in sizes:
         dataset = _dataset_for_size(config, size)
-        started = time.perf_counter()
-        PureG(
-            epsilon=config.epsilon / 2,
-            signature_size=config.signature_size,
-            seed=config.seed,
-        ).anonymize(dataset)
-        timings["Global"].append(time.perf_counter() - started)
-        started = time.perf_counter()
-        PureL(
-            epsilon=config.epsilon / 2,
-            signature_size=config.signature_size,
-            seed=config.seed,
-        ).anonymize(dataset)
-        timings["Local"].append(time.perf_counter() - started)
+        # RunResult.seconds times exactly the anonymize call, so the
+        # serial and batch rows measure the same work.
+        timings["Global"].append(run_spec(pureg, dataset).seconds)
+        timings["Local"].append(run_spec(purel, dataset).seconds)
         if workers > 1:
-            from repro.engine import BatchAnonymizer
-
-            engine = BatchAnonymizer(
-                PureL(
-                    epsilon=config.epsilon / 2,
-                    signature_size=config.signature_size,
-                    seed=config.seed,
-                ),
-                workers=workers,
+            timings["Local-batch"].append(
+                run_spec(
+                    purel, dataset, engine="batch", workers=workers
+                ).seconds
             )
-            started = time.perf_counter()
-            engine.anonymize(dataset)
-            timings["Local-batch"].append(time.perf_counter() - started)
     return timings
 
 

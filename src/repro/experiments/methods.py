@@ -1,86 +1,114 @@
-"""Registry of every method Table II compares.
+"""Method specs for every method Table II compares.
 
-``build_methods`` returns an ordered mapping from the paper's method
-label to a freshly configured anonymizer. ``SYNTHETIC_METHODS`` marks
-the generative models whose outputs carry no record-level truthfulness
-(the paper skips temporal-linkage and recovery metrics for them).
+Since the :mod:`repro.api` registry became the one front door, this
+module is a thin, *ordered* view over it: ``table2_specs`` maps the
+paper's method labels (Table II column order) to declarative
+:class:`~repro.api.spec.MethodSpec` values derived from an
+:class:`ExperimentConfig`, and ``our_model_specs`` covers just the
+frequency-based models for the ε sweep of Figure 4.
+
+``build_methods`` / ``build_our_models`` are kept as the historical
+callable-returning views; each callable is ``run(spec, ds).dataset``,
+so both surfaces execute exactly the same registry-built methods.
+
+``SYNTHETIC_METHODS`` marks the generative models whose outputs carry
+no record-level truthfulness (the paper skips temporal-linkage and
+recovery metrics for them); it is derived from the registry's
+``synthetic`` flags.
 """
 
 from __future__ import annotations
 
 from typing import Callable
 
-from repro.baselines.adatrace import AdaTrace
-from repro.baselines.dpt import DPT
-from repro.baselines.glove import Glove
-from repro.baselines.klt import KLT
-from repro.baselines.signature_closure import (
-    RadiusSignatureClosure,
-    SignatureClosure,
-)
-from repro.baselines.w4m import W4M
-from repro.core.pipeline import GL, PureG, PureL
+from repro.api import MethodSpec, method_info, run
 from repro.experiments.config import ExperimentConfig
 from repro.trajectory.model import TrajectoryDataset
 
 Anonymizer = Callable[[TrajectoryDataset], TrajectoryDataset]
 
-#: Methods whose output is synthetic (no record-level pairing).
-SYNTHETIC_METHODS = frozenset({"DPT", "AdaTrace"})
+#: Table II labels, in the paper's column order, with the registry
+#: kind each resolves to (RSC expands to one column per radius).
+TABLE2_ORDER = (
+    ("SC", "sc"),
+    ("RSC", "rsc"),
+    ("W4M", "w4m"),
+    ("GLOVE", "glove"),
+    ("KLT", "klt"),
+    ("DPT", "dpt"),
+    ("AdaTrace", "adatrace"),
+    ("PureG", "pureg"),
+    ("PureL", "purel"),
+    ("GL", "gl"),
+)
+
+#: Methods whose output is synthetic (no record-level pairing),
+#: straight from the registry metadata.
+SYNTHETIC_METHODS = frozenset(
+    label for label, kind in TABLE2_ORDER if method_info(kind).synthetic
+)
+
+
+def table2_specs(config: ExperimentConfig) -> dict[str, MethodSpec]:
+    """All Table II methods as specs, in the paper's column order."""
+    m = config.signature_size
+    specs: dict[str, MethodSpec] = {}
+
+    specs["SC"] = MethodSpec("sc", {"signature_size": m})
+    for radius in config.rsc_radii:
+        specs[f"RSC-{radius / 1000:g}"] = MethodSpec(
+            "rsc", {"signature_size": m, "radius": radius}
+        )
+
+    specs["W4M"] = MethodSpec("w4m", {"k": config.k_anonymity})
+    specs["GLOVE"] = MethodSpec("glove", {"k": config.k_anonymity})
+    specs["KLT"] = MethodSpec(
+        "klt",
+        {
+            "k": config.k_anonymity,
+            "l_diversity": config.l_diversity,
+            "t_closeness": config.t_closeness,
+        },
+    )
+
+    generative = {"epsilon": config.epsilon, "seed": config.seed}
+    specs["DPT"] = MethodSpec("dpt", generative)
+    specs["AdaTrace"] = MethodSpec("adatrace", generative)
+
+    specs["PureG"] = MethodSpec(
+        "pureg", config.model_params(config.epsilon / 2.0)
+    )
+    specs["PureL"] = MethodSpec(
+        "purel", config.model_params(config.epsilon / 2.0)
+    )
+    specs["GL"] = MethodSpec("gl", config.model_params())
+    return specs
+
+
+def our_model_specs(config: ExperimentConfig) -> dict[str, MethodSpec]:
+    """Just the frequency-based models (for the ε sweep of Figure 4)."""
+    return {
+        "PureG": MethodSpec("pureg", config.model_params()),
+        "PureL": MethodSpec("purel", config.model_params()),
+        "GL": MethodSpec("gl", config.model_params()),
+    }
+
+
+def _as_callable(spec: MethodSpec) -> Anonymizer:
+    return lambda dataset: run(spec, dataset).dataset
 
 
 def build_methods(config: ExperimentConfig) -> dict[str, Anonymizer]:
-    """All Table II methods in the paper's column order."""
-    m = config.signature_size
-    methods: dict[str, Anonymizer] = {}
-
-    methods["SC"] = lambda ds: SignatureClosure(signature_size=m).anonymize(ds)
-    for radius in config.rsc_radii:
-        label = f"RSC-{radius / 1000:g}"
-        methods[label] = (
-            lambda ds, r=radius: RadiusSignatureClosure(
-                signature_size=m, radius=r
-            ).anonymize(ds)
-        )
-
-    methods["W4M"] = lambda ds: W4M(k=config.k_anonymity).anonymize(ds)
-    methods["GLOVE"] = lambda ds: Glove(k=config.k_anonymity).anonymize(ds)
-    methods["KLT"] = lambda ds: KLT(
-        k=config.k_anonymity,
-        l_diversity=config.l_diversity,
-        t_closeness=config.t_closeness,
-    ).anonymize(ds)
-
-    methods["DPT"] = lambda ds: DPT(
-        epsilon=config.epsilon, seed=config.seed
-    ).anonymize(ds)
-    methods["AdaTrace"] = lambda ds: AdaTrace(
-        epsilon=config.epsilon, seed=config.seed
-    ).anonymize(ds)
-
-    methods["PureG"] = lambda ds: PureG(
-        epsilon=config.epsilon / 2.0, signature_size=m, seed=config.seed
-    ).anonymize(ds)
-    methods["PureL"] = lambda ds: PureL(
-        epsilon=config.epsilon / 2.0, signature_size=m, seed=config.seed
-    ).anonymize(ds)
-    methods["GL"] = lambda ds: GL(
-        epsilon=config.epsilon, signature_size=m, seed=config.seed
-    ).anonymize(ds)
-    return methods
+    """All Table II methods as callables, in the paper's column order."""
+    return {
+        label: _as_callable(spec)
+        for label, spec in table2_specs(config).items()
+    }
 
 
 def build_our_models(config: ExperimentConfig) -> dict[str, Anonymizer]:
-    """Just the frequency-based models (for the ε sweep of Figure 4)."""
-    m = config.signature_size
+    """The frequency-based models as callables (Figure 4 view)."""
     return {
-        "PureG": lambda ds: PureG(
-            epsilon=config.epsilon, signature_size=m, seed=config.seed
-        ).anonymize(ds),
-        "PureL": lambda ds: PureL(
-            epsilon=config.epsilon, signature_size=m, seed=config.seed
-        ).anonymize(ds),
-        "GL": lambda ds: GL(
-            epsilon=config.epsilon, signature_size=m, seed=config.seed
-        ).anonymize(ds),
+        label: _as_callable(spec)
+        for label, spec in our_model_specs(config).items()
     }

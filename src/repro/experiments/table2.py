@@ -20,6 +20,7 @@ from __future__ import annotations
 import sys
 import time
 
+from repro.api import run as run_spec
 from repro.engine.pool import parallel_map
 from repro.experiments.config import (
     ExperimentConfig,
@@ -27,20 +28,21 @@ from repro.experiments.config import (
     parse_driver_args,
 )
 from repro.experiments.evaluate import METRIC_COLUMNS, evaluate_method
-from repro.experiments.methods import SYNTHETIC_METHODS, build_methods
+from repro.experiments.methods import SYNTHETIC_METHODS, table2_specs
 
 
 def _method_job(
     payload: tuple[ExperimentConfig, str]
 ) -> tuple[str, dict[str, float | None], float]:
     """One method evaluation; the job is self-contained (it derives its
-    fleet from the config) so it can run in a worker process, with the
-    per-process fleet memo avoiding repeated generation."""
+    fleet from the config and its method spec from the registry) so it
+    can run in a worker process, with the per-process fleet memo
+    avoiding repeated generation."""
     config, name = payload
     started = time.perf_counter()
     inputs = load_experiment_input(config)
-    anonymize = build_methods(config)[name]
-    anonymized = anonymize(inputs.dataset)
+    spec = table2_specs(config)[name]
+    anonymized = run_spec(spec, inputs.dataset).dataset
     evaluation = evaluate_method(
         inputs.dataset,
         anonymized,
@@ -60,7 +62,7 @@ def run(
 ) -> dict[str, dict[str, float | None]]:
     """Evaluate Table II. ``methods`` restricts to a subset of labels."""
     config = config or ExperimentConfig.default()
-    registry = build_methods(config)
+    registry = table2_specs(config)
     if methods is not None:
         unknown = set(methods) - set(registry)
         if unknown:

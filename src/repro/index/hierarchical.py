@@ -86,7 +86,13 @@ class HierarchicalGridIndex:
         self._height = max(bbox.height, 1e-9)
         self._registry = SegmentRegistry()
         self._cells: dict[CellKey, _Cell] = {}
-        self._cell_of_sid: dict[int, CellKey] = {}
+        self._cell_of_sid: dict[int, CellKey | None] = {}
+        #: Segments with an endpoint outside ``bbox``. Clamping them
+        #: into boundary cells would break MINdist's lower-bound
+        #: guarantee (the protruding geometry can be closer to an
+        #: outside query than its cell), so they bypass the hierarchy
+        #: and every search checks them exactly.
+        self._overflow: set[int] = set()
         self.last_stats = SearchStats()
 
     # -- cell geometry -----------------------------------------------------------
@@ -155,6 +161,10 @@ class HierarchicalGridIndex:
 
     def insert(self, a: Coord, b: Coord, owner: str | None = None) -> int:
         segment = self._registry.allocate(a, b, owner)
+        if not (self.bbox.contains(a) and self.bbox.contains(b)):
+            self._cell_of_sid[segment.sid] = None
+            self._overflow.add(segment.sid)
+            return segment.sid
         key = self.best_fit_cell(a, b)
         self._cell_of_sid[segment.sid] = key
         cell = self._cells.get(key)
@@ -184,6 +194,9 @@ class HierarchicalGridIndex:
     def remove(self, sid: int) -> None:
         self._registry.release(sid)
         key = self._cell_of_sid.pop(sid)
+        if key is None:
+            self._overflow.discard(sid)
+            return
         cell = self._cells[key]
         cell.segments.discard(sid)
         cell.array = None
@@ -221,9 +234,16 @@ class HierarchicalGridIndex:
         if strategy not in _STRATEGIES:
             raise ValueError(f"unknown strategy {strategy!r}; choose from {_STRATEGIES}")
         self.last_stats = SearchStats()
-        if not self._cells:
+        if not self._cells and not self._overflow:
             return []
         candidates = KnnCandidates(k)
+        # Out-of-bbox segments carry no valid cell bound; check them
+        # exactly up front (this also tightens θ_K before descent).
+        for sid in self._overflow:
+            self.last_stats.segments_checked += 1
+            candidates.offer(sid, self._registry.get(sid).distance_to(q))
+        if not self._cells:
+            return candidates.results()
         if strategy == "top_down":
             self._search_top_down(q, candidates)
         elif strategy == "bottom_up":
@@ -265,14 +285,30 @@ class HierarchicalGridIndex:
         like any other search.
         """
         self.last_stats = SearchStats()
-        if not self._cells:
+        if not self._cells and not self._overflow:
             return
         # Entries: (distance, kind, key, ...) with kind 0 = cell —
         # (dist, 0, cell key) — and kind 1 = segment cursor —
         # (dist, 1, sid, sorted sids, sorted distances, position).
         # Comparison never reaches the unorderable payload: kind
         # separates the shapes and sids are unique.
-        heap: list[tuple] = [(self.min_distance(q, ROOT), 0, ROOT)]
+        heap: list[tuple] = []
+        if self._cells:
+            heap.append((self.min_distance(q, ROOT), 0, ROOT))
+        if self._overflow:
+            # Out-of-bbox segments have no valid cell bound: enter the
+            # frontier as one pre-sorted exact-distance cursor.
+            sids = sorted(self._overflow)
+            self.last_stats.segments_checked += len(sids)
+            raw = [self._registry.get(sid).distance_to(q) for sid in sids]
+            order = sorted(range(len(sids)), key=lambda i: (raw[i], sids[i]))
+            sorted_sids = [sids[i] for i in order]
+            sorted_distances = [raw[i] for i in order]
+            heap.append(
+                (sorted_distances[0], 1, sorted_sids[0], sorted_sids,
+                 sorted_distances, 0)
+            )
+        heapq.heapify(heap)
         while heap:
             entry = heapq.heappop(heap)
             if entry[1]:

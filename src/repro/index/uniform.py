@@ -53,6 +53,11 @@ class UniformGridIndex:
         self._cells_of_sid: dict[int, list[tuple[int, int]]] = {}
         #: Longest segment half-extent, for midpoint-mode ring bounds.
         self._max_half_extent = 0.0
+        #: Segments with an endpoint outside ``bbox``. Clamped cell
+        #: assignment would break the ring/cell distance bounds (the
+        #: protruding geometry can be closer to an outside query than
+        #: its clamped cell), so every search checks them exactly.
+        self._overflow: set[int] = set()
 
     # -- geometry helpers -----------------------------------------------------
 
@@ -88,6 +93,10 @@ class UniformGridIndex:
 
     def insert(self, a: Coord, b: Coord, owner: str | None = None) -> int:
         segment = self._registry.allocate(a, b, owner)
+        if not (self.bbox.contains(a) and self.bbox.contains(b)):
+            self._overflow.add(segment.sid)
+            self._cells_of_sid[segment.sid] = []
+            return segment.sid
         if self.assignment == "overlap":
             cells = self._cells_overlapping(a, b)
         else:
@@ -103,6 +112,7 @@ class UniformGridIndex:
 
     def remove(self, sid: int) -> None:
         self._registry.release(sid)
+        self._overflow.discard(sid)
         for cell in self._cells_of_sid.pop(sid):
             bucket = self._cells.get(cell)
             if bucket is not None:
@@ -129,6 +139,10 @@ class UniformGridIndex:
             return []
         slack = self._max_half_extent if self.assignment == "midpoint" else 0.0
         candidates = KnnCandidates(k)
+        # Out-of-bbox segments carry no valid cell bound; check them
+        # exactly up front (this also tightens θ_K before the rings).
+        for sid in self._overflow:
+            candidates.offer(sid, self._registry.get(sid).distance_to(q))
         qx, qy = self.cell_of(q)
         seen: set[int] = set()
         max_ring = self.granularity  # worst case covers the whole grid
@@ -171,6 +185,11 @@ class UniformGridIndex:
         min_cell = min(self._cell_w, self._cell_h)
         seen: set[int] = set()
         heap: list[tuple[float, int]] = []
+        # Out-of-bbox segments join the heap with exact distances up
+        # front; the ring release bound stays valid for them.
+        for sid in self._overflow:
+            seen.add(sid)
+            heapq.heappush(heap, (self._registry.get(sid).distance_to(q), sid))
         for ring in range(self.granularity + 1):
             for cx, cy in self._ring_cells(qx, qy, ring):
                 bucket = self._cells.get((cx, cy))

@@ -1,0 +1,79 @@
+"""Tests for tools/check_api.py (the public-API surface snapshot)."""
+
+import copy
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def check_api():
+    spec = importlib.util.spec_from_file_location(
+        "check_api", REPO_ROOT / "tools" / "check_api.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["check_api"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestSnapshot:
+    def test_checked_in_snapshot_matches_live_surface(self, check_api, capsys):
+        """The CI api job: the snapshot must always be current."""
+        assert check_api.main([]) == 0
+        assert "checked" in capsys.readouterr().out
+
+    def test_surface_covers_public_modules(self, check_api):
+        surface = check_api.build_surface()
+        assert set(surface) == set(check_api.PUBLIC_MODULES)
+        assert "MethodSpec" in surface["repro.api"]
+        assert "BatchAnonymizer" in surface["repro.engine"]
+        assert "DatasetRegistry" in surface["repro.data"]
+        assert "run" in surface["repro.api"]
+
+    def test_signatures_are_recorded(self, check_api):
+        surface = check_api.build_surface()
+        assert surface["repro.api"]["run"].startswith("function(")
+        batch = surface["repro.engine"]["BatchAnonymizer"]
+        assert batch["kind"] == "class"
+        assert "anonymize_with_report" in batch["members"]
+
+
+class TestDiff:
+    def test_removal_detected(self, check_api):
+        actual = check_api.build_surface()
+        expected = copy.deepcopy(actual)
+        del actual["repro.api"]["run"]
+        problems = check_api.diff_surfaces(expected, actual)
+        assert any("removed from public API" in p for p in problems)
+
+    def test_signature_change_detected(self, check_api):
+        actual = check_api.build_surface()
+        expected = copy.deepcopy(actual)
+        actual["repro.api"]["run"] = "function(everything_changed)"
+        problems = check_api.diff_surfaces(expected, actual)
+        assert any("repro.api.run" in p for p in problems)
+
+    def test_undeclared_addition_detected(self, check_api):
+        actual = check_api.build_surface()
+        expected = copy.deepcopy(actual)
+        actual["repro.api"]["sneaky"] = "function()"
+        problems = check_api.diff_surfaces(expected, actual)
+        assert any("not in snapshot" in p for p in problems)
+
+    def test_method_level_change_pinpointed(self, check_api):
+        actual = check_api.build_surface()
+        expected = copy.deepcopy(actual)
+        actual["repro.engine"]["BatchAnonymizer"]["members"][
+            "anonymize"
+        ] = "method(self)"
+        problems = check_api.diff_surfaces(expected, actual)
+        assert any("BatchAnonymizer.anonymize" in p for p in problems)
+
+    def test_identical_surfaces_clean(self, check_api):
+        actual = check_api.build_surface()
+        assert check_api.diff_surfaces(copy.deepcopy(actual), actual) == []

@@ -76,6 +76,120 @@ class TestAnonymize:
         assert code == 0
 
 
+class TestMethodsCommand:
+    def test_lists_registry(self, capsys):
+        assert main(["methods"]) == 0
+        out = capsys.readouterr().out
+        for kind in ("gl", "pureg", "purel", "sc", "rsc", "w4m", "glove",
+                     "klt", "dpt", "adatrace"):
+            assert kind in out
+        assert "synthetic" in out
+
+    def test_verbose_lists_params(self, capsys):
+        assert main(["methods", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "--param epsilon=" in out
+        assert "--param radius=" in out
+
+
+class TestAnonymizeMethod:
+    def test_method_baseline_end_to_end(self, fleet_csv, tmp_path, capsys):
+        out = tmp_path / "ada.csv"
+        code = main(
+            [
+                "anonymize", "-i", str(fleet_csv), "-o", str(out),
+                "--method", "adatrace", "--epsilon", "1.0", "--seed", "1",
+            ]
+        )
+        assert code == 0
+        assert len(read_csv(out)) > 0
+        captured = capsys.readouterr().out
+        assert "ADATRACE" in captured
+        assert "config digest" in captured
+
+    def test_method_with_param_overrides(self, fleet_csv, tmp_path, capsys):
+        out = tmp_path / "rsc.csv"
+        code = main(
+            [
+                "anonymize", "-i", str(fleet_csv), "-o", str(out),
+                "--method", "rsc",
+                "--signature-size", "3",
+                "--param", "radius=250.0",
+            ]
+        )
+        assert code == 0
+        assert "rsc" in capsys.readouterr().out
+
+    def test_method_overrides_model(self, fleet_csv, tmp_path, capsys):
+        out = tmp_path / "p.csv"
+        code = main(
+            [
+                "anonymize", "-i", str(fleet_csv), "-o", str(out),
+                "--model", "gl", "--method", "purel",
+                "--signature-size", "3", "--seed", "2",
+            ]
+        )
+        assert code == 0
+        assert "PUREL" in capsys.readouterr().out
+
+    def test_method_batch_engine(self, fleet_csv, tmp_path, capsys):
+        out = tmp_path / "b.csv"
+        code = main(
+            [
+                "anonymize", "-i", str(fleet_csv), "-o", str(out),
+                "--method", "gl", "--signature-size", "3", "--seed", "4",
+                "--engine", "batch", "--workers", "2", "--executor", "thread",
+            ]
+        )
+        assert code == 0
+        assert "engine batch" in capsys.readouterr().out
+
+    def test_unknown_method_fails_cleanly(self, fleet_csv, tmp_path, capsys):
+        code = main(
+            [
+                "anonymize", "-i", str(fleet_csv),
+                "-o", str(tmp_path / "x.csv"), "--method", "nope",
+            ]
+        )
+        assert code == 2
+        assert "registered methods" in capsys.readouterr().err
+
+    def test_bad_param_fails_cleanly(self, fleet_csv, tmp_path, capsys):
+        code = main(
+            [
+                "anonymize", "-i", str(fleet_csv),
+                "-o", str(tmp_path / "x.csv"),
+                "--method", "sc", "--param", "bogus=1",
+            ]
+        )
+        assert code == 2
+        assert "accepted" in capsys.readouterr().err
+
+    def test_non_plain_param_value_fails_cleanly(self, fleet_csv, tmp_path, capsys):
+        """A JSON-object --param value is rejected with exit 2, not a
+        traceback (MethodSpec only accepts plain scalar/sequence data)."""
+        code = main(
+            [
+                "anonymize", "-i", str(fleet_csv),
+                "-o", str(tmp_path / "x.csv"),
+                "--method", "sc", "--param", 'signature_size={"a": 1}',
+            ]
+        )
+        assert code == 2
+        assert "plain data" in capsys.readouterr().err
+
+    def test_batch_engine_rejected_for_baseline(self, fleet_csv, tmp_path, capsys):
+        code = main(
+            [
+                "anonymize", "-i", str(fleet_csv),
+                "-o", str(tmp_path / "x.csv"),
+                "--method", "sc", "--engine", "batch",
+            ]
+        )
+        assert code == 2
+        assert "frequency-family" in capsys.readouterr().err
+
+
 class TestAttackAndEvaluate:
     def test_attack_self(self, fleet_csv, capsys):
         code = main(

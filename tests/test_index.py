@@ -247,6 +247,55 @@ def iter_registry(index):
     return list(index._registry)
 
 
+class TestOutOfBoundsSegments:
+    """Segments protruding outside the index bbox must not be missed.
+
+    Clamping them into boundary cells breaks the MINdist lower bound
+    (the protruding geometry can be closer to an outside query than
+    its cell), so both grid indexes route them through an exact-check
+    overflow set. Regression for a hypothesis-found counterexample:
+    seed=3, n=21, k=3, q=(671, 1125).
+    """
+
+    def _build(self):
+        segments = random_segments(21, seed=3)
+        hier = HierarchicalGridIndex(BOX, levels=5)
+        unif = UniformGridIndex(BOX, granularity=16)
+        registry = []
+        for a, b in segments:
+            sid = hier.insert(a, b)
+            unif.insert(a, b)
+            registry.append(hier.segment(sid))
+        return hier, unif, registry
+
+    def test_knn_finds_protruding_neighbour(self):
+        hier, unif, registry = self._build()
+        q = (671.0, 1125.0)
+        want = [round(d, 6) for _, d in linear_knn(registry, q, 3)]
+        for strategy in ("top_down", "bottom_up", "bottom_up_down"):
+            got = [round(d, 6) for _, d in hier.knn(q, 3, strategy=strategy)]
+            assert got == want, strategy
+        assert [round(d, 6) for _, d in unif.knn(q, 3)] == want
+
+    def test_iter_nearest_covers_overflow(self):
+        hier, unif, registry = self._build()
+        q = (671.0, 1125.0)
+        want = [sid for sid, _ in linear_knn(registry, q, len(registry))]
+        assert [sid for sid, _ in hier.iter_nearest(q)] == want
+        assert [sid for sid, _ in unif.iter_nearest(q)] == want
+
+    def test_remove_clears_overflow(self):
+        hier = HierarchicalGridIndex(BOX, levels=5)
+        unif = UniformGridIndex(BOX, granularity=16)
+        outside = ((900.0, 990.0), (905.0, 1100.0))
+        for index in (hier, unif):
+            sid = index.insert(*outside)
+            assert index.knn((900.0, 1150.0), 1)[0][0] == sid
+            index.remove(sid)
+            assert index.knn((900.0, 1150.0), 1) == []
+            assert len(index) == 0
+
+
 class TestStrategyEquivalenceProperty:
     @settings(max_examples=40, deadline=None)
     @given(
