@@ -1,14 +1,33 @@
 """Shared fixtures for the benchmark suite.
 
 All benches run at the smoke scale so the full suite finishes in
-minutes; the experiment modules under ``repro.experiments`` regenerate
-the paper's tables/figures at the larger presets.
+minutes (``REPRO_BENCH_SCALE=paper`` switches the engine bench to the
+paper's 500x300 fleet); the experiment modules under
+``repro.experiments`` regenerate the paper's tables/figures at the
+larger presets.
+
+Benches that time hot paths record their measurements through the
+``bench_records`` fixture; at session end the records are written to
+``BENCH_engine.json`` (next to the invocation directory) so the perf
+trajectory is machine-readable and tracked across PRs — the CI
+bench-smoke job uploads it as an artifact.
 """
+
+import json
+import platform
+from pathlib import Path
 
 import pytest
 
 from repro.datagen.generator import generate_fleet
 from repro.experiments.config import ExperimentConfig
+
+#: The committed paper-scale perf record (REPRO_BENCH_SCALE=paper).
+BENCH_RESULTS_FILENAME = "BENCH_engine.json"
+#: Output of any lower-scale run (CI bench-smoke, local pytest).
+BENCH_SMOKE_RESULTS_FILENAME = "BENCH_engine.smoke.json"
+
+_RECORDS: dict = {}
 
 
 @pytest.fixture(scope="session")
@@ -19,3 +38,49 @@ def config():
 @pytest.fixture(scope="session")
 def fleet(config):
     return generate_fleet(config.fleet)
+
+
+@pytest.fixture(scope="session")
+def bench_records():
+    """Session-wide sink for machine-readable bench measurements.
+
+    Keys are dotted metric names (``"inter_modification.wave_s"``);
+    values are floats (seconds) or small JSON-serialisable payloads.
+    """
+    return _RECORDS
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _RECORDS:
+        return
+    speedups = {}
+    inter = _RECORDS.get("inter_modification", {})
+    restart = inter.get("restart_s")
+    incremental = inter.get("incremental_s")
+    wave = inter.get("wave_s")
+    if restart and incremental:
+        speedups["incremental_over_restart"] = restart / incremental
+    if incremental and wave:
+        speedups["wave_over_incremental"] = incremental / wave
+    if restart and wave:
+        speedups["wave_over_restart"] = restart / wave
+    payload = {
+        "bench": "engine",
+        "python": platform.python_version(),
+        **_RECORDS,
+        "speedups": speedups,
+    }
+    # Paper-scale runs refresh the committed record; any other scale
+    # writes the sibling smoke file, so casual/CI runs never clobber
+    # the record yet always produce fresh numbers for the CI artifact.
+    # Anchored to the pytest root (the repo), not the invocation cwd.
+    filename = (
+        BENCH_RESULTS_FILENAME
+        if _RECORDS.get("scale", {}).get("paper_scale")
+        else BENCH_SMOKE_RESULTS_FILENAME
+    )
+    path = Path(session.config.rootpath) / filename
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    reporter = session.config.pluginmanager.get_plugin("terminalreporter")
+    if reporter is not None:
+        reporter.write_line(f"bench results written to {path}")

@@ -1,16 +1,27 @@
-"""Benchmarks for the batch engine and the incremental kNN frontier.
+"""Benchmarks for the batch engine, the incremental kNN frontier, and
+the wave-planned global stage.
 
 The headline comparison: the inter-trajectory (global) modification
-stage with the seed restart-scan candidate search versus the engine's
-incremental ``iter_nearest`` consumption — same selections, same
-utility loss, but the incremental path stops scanning the moment the
-Δl-th owner is found instead of re-running kNN with a 4x-growing k.
+stage under its three candidate sources — the seed restart-scan, PR 1's
+incremental ``iter_nearest`` consumption, and the wave planner/executor
+path (read-only simulation rounds over a static index snapshot, edits
+applied in serial order). All three make identical selections; the
+bench isolates pure search/scheduling cost.
 
 Runs on a dedicated fleet larger than the smoke preset so the restart
-overhead is visible, yet small enough for CI.
+overhead is visible, yet small enough for CI. Set
+``REPRO_BENCH_SCALE=paper`` to run the paper-scale fleet (500
+trajectories x 300 points, m=10) instead — the scale the engine's
+speedup targets are recorded at.
+
+Wall-clock measurements land in ``BENCH_engine.json`` via the
+``bench_records`` fixture (see ``conftest``), so the perf trajectory is
+tracked across PRs even under ``--benchmark-disable``.
 """
 
+import os
 import random
+import time
 
 import pytest
 
@@ -21,20 +32,33 @@ from repro.core.signature import SignatureExtractor
 from repro.datagen.generator import FleetConfig, generate_fleet
 from repro.engine import BatchAnonymizer
 
+PAPER_SCALE = os.environ.get("REPRO_BENCH_SCALE", "").lower() == "paper"
+N_OBJECTS, N_POINTS, SIGNATURE_SIZE = (
+    (500, 300, 10) if PAPER_SCALE else (60, 120, 5)
+)
+
 
 @pytest.fixture(scope="module")
-def engine_fleet():
+def engine_fleet(bench_records):
+    bench_records["scale"] = {
+        "n_objects": N_OBJECTS,
+        "points_per_trajectory": N_POINTS,
+        "signature_size": SIGNATURE_SIZE,
+        "paper_scale": PAPER_SCALE,
+    }
     return generate_fleet(
         FleetConfig(
-            n_objects=60, points_per_trajectory=120, rows=16, cols=16,
-            n_hotspots=12, seed=7,
+            n_objects=N_OBJECTS, points_per_trajectory=N_POINTS, rows=16,
+            cols=16, n_hotspots=12, seed=7,
         )
     )
 
 
 @pytest.fixture(scope="module")
 def tf_perturbation(engine_fleet):
-    signature_index = SignatureExtractor(m=5).extract(engine_fleet.dataset)
+    signature_index = SignatureExtractor(m=SIGNATURE_SIZE).extract(
+        engine_fleet.dataset
+    )
     return GlobalTFMechanism(0.5).perturb(
         signature_index.tf, len(engine_fleet.dataset), random.Random(1)
     )
@@ -47,20 +71,73 @@ def _apply_inter(dataset, perturbation, candidate_source):
     return modifier.apply(dataset, perturbation)
 
 
-def test_bench_inter_restart_scan(benchmark, engine_fleet, tf_perturbation):
+def _timed_inter(bench_records, dataset, perturbation, candidate_source):
+    """Apply + record wall-clock under ``inter_modification.<source>_s``.
+
+    Recording wraps the timed call itself, so the JSON numbers exist
+    in quick mode (``--benchmark-disable`` runs each bench once).
+    """
+    started = time.perf_counter()
+    result = _apply_inter(dataset, perturbation, candidate_source)
+    seconds = time.perf_counter() - started
+    records = bench_records.setdefault("inter_modification", {})
+    # Keep the fastest observed round, like pytest-benchmark's "min".
+    key = f"{candidate_source}_s"
+    records[key] = min(records.get(key, float("inf")), seconds)
+    return result
+
+
+def test_bench_inter_restart_scan(
+    benchmark, bench_records, engine_fleet, tf_perturbation
+):
     """Baseline: the seed restart-scan candidate search."""
     _, report = benchmark(
-        lambda: _apply_inter(engine_fleet.dataset, tf_perturbation, "restart")
+        lambda: _timed_inter(
+            bench_records, engine_fleet.dataset, tf_perturbation, "restart"
+        )
     )
     assert report.insertions > 0
 
 
-def test_bench_inter_incremental(benchmark, engine_fleet, tf_perturbation):
-    """The engine path: lazy iter_nearest consumption."""
+def test_bench_inter_incremental(
+    benchmark, bench_records, engine_fleet, tf_perturbation
+):
+    """PR 1's engine path: lazy iter_nearest consumption."""
     _, report = benchmark(
-        lambda: _apply_inter(engine_fleet.dataset, tf_perturbation, "incremental")
+        lambda: _timed_inter(
+            bench_records, engine_fleet.dataset, tf_perturbation, "incremental"
+        )
     )
     assert report.insertions > 0
+
+
+def test_bench_inter_wave(
+    benchmark, bench_records, engine_fleet, tf_perturbation
+):
+    """The wave planner/executor path (PR 4's global stage)."""
+    _, report = benchmark(
+        lambda: _timed_inter(
+            bench_records, engine_fleet.dataset, tf_perturbation, "wave"
+        )
+    )
+    assert report.insertions > 0
+
+
+def test_wave_output_identical_to_incremental(engine_fleet, tf_perturbation):
+    """Not a bench: the wave path must be byte-identical to the serial
+    reference on the bench workload itself."""
+    wave_out, wave_report = _apply_inter(
+        engine_fleet.dataset, tf_perturbation, "wave"
+    )
+    serial_out, serial_report = _apply_inter(
+        engine_fleet.dataset, tf_perturbation, "incremental"
+    )
+    for a, b in zip(wave_out, serial_out):
+        assert [(p.coord, p.t) for p in a] == [(p.coord, p.t) for p in b]
+    assert wave_report.utility_loss == serial_report.utility_loss
+    assert wave_report.insertions == serial_report.insertions
+    assert wave_report.deletions == serial_report.deletions
+    assert wave_report.unrealised == serial_report.unrealised
 
 
 def test_inter_modes_cost_equivalent(engine_fleet, tf_perturbation):
@@ -90,34 +167,52 @@ def test_inter_modes_cost_equivalent(engine_fleet, tf_perturbation):
     )
 
 
-def test_bench_local_stage_serial(benchmark, engine_fleet):
+def _timed_local(bench_records, key, fn):
+    started = time.perf_counter()
+    result = fn()
+    seconds = time.perf_counter() - started
+    records = bench_records.setdefault("local_stage", {})
+    records[key] = min(records.get(key, float("inf")), seconds)
+    return result
+
+
+def test_bench_local_stage_serial(benchmark, bench_records, engine_fleet):
     benchmark.pedantic(
-        lambda: PureL(epsilon=0.5, signature_size=5, seed=7).anonymize(
-            engine_fleet.dataset
+        lambda: _timed_local(
+            bench_records,
+            "serial_s",
+            lambda: PureL(
+                epsilon=0.5, signature_size=SIGNATURE_SIZE, seed=7
+            ).anonymize(engine_fleet.dataset),
         ),
         rounds=1,
         iterations=1,
     )
 
 
-def test_bench_local_stage_batch(benchmark, engine_fleet):
+def test_bench_local_stage_batch(benchmark, bench_records, engine_fleet):
     """Sharded local stage via the process pool (falls back to serial
     where pools are unavailable; output is identical either way)."""
     benchmark.pedantic(
-        lambda: BatchAnonymizer(
-            PureL(epsilon=0.5, signature_size=5, seed=7), workers=0
-        ).anonymize(engine_fleet.dataset),
+        lambda: _timed_local(
+            bench_records,
+            "batch_s",
+            lambda: BatchAnonymizer(
+                PureL(epsilon=0.5, signature_size=SIGNATURE_SIZE, seed=7),
+                workers=0,
+            ).anonymize(engine_fleet.dataset),
+        ),
         rounds=1,
         iterations=1,
     )
 
 
 def test_batch_output_identical_to_serial(engine_fleet):
-    serial = PureL(epsilon=0.5, signature_size=5, seed=7).anonymize(
-        engine_fleet.dataset
-    )
+    serial = PureL(
+        epsilon=0.5, signature_size=SIGNATURE_SIZE, seed=7
+    ).anonymize(engine_fleet.dataset)
     batched = BatchAnonymizer(
-        PureL(epsilon=0.5, signature_size=5, seed=7), workers=4
+        PureL(epsilon=0.5, signature_size=SIGNATURE_SIZE, seed=7), workers=4
     ).anonymize(engine_fleet.dataset)
     for a, b in zip(serial, batched):
         assert [p.coord for p in a] == [p.coord for p in b]

@@ -212,6 +212,7 @@ def _frequency(
     index_backend: str = "hierarchical",
     search_strategy: str = "bottom_up_down",
     trajectory_selection: str = "index",
+    candidate_source: str = "wave",
     levels: int = 10,
     granularity: int = 512,
     global_first: bool = True,
@@ -226,6 +227,7 @@ def _frequency(
         index_backend=index_backend,
         search_strategy=search_strategy,
         trajectory_selection=trajectory_selection,
+        candidate_source=candidate_source,
         levels=levels,
         granularity=granularity,
         global_first=global_first,
@@ -245,6 +247,7 @@ def _gl(
     index_backend: str = "hierarchical",
     search_strategy: str = "bottom_up_down",
     trajectory_selection: str = "index",
+    candidate_source: str = "wave",
     levels: int = 10,
     granularity: int = 512,
     global_first: bool = True,
@@ -258,6 +261,7 @@ def _gl(
         index_backend=index_backend,
         search_strategy=search_strategy,
         trajectory_selection=trajectory_selection,
+        candidate_source=candidate_source,
         levels=levels,
         granularity=granularity,
         global_first=global_first,
@@ -276,6 +280,7 @@ def _pureg(
     index_backend: str = "hierarchical",
     search_strategy: str = "bottom_up_down",
     trajectory_selection: str = "index",
+    candidate_source: str = "wave",
     levels: int = 10,
     granularity: int = 512,
     seed: int | None = None,
@@ -288,6 +293,7 @@ def _pureg(
         index_backend=index_backend,
         search_strategy=search_strategy,
         trajectory_selection=trajectory_selection,
+        candidate_source=candidate_source,
         levels=levels,
         granularity=granularity,
         seed=seed,
@@ -305,6 +311,7 @@ def _purel(
     index_backend: str = "hierarchical",
     search_strategy: str = "bottom_up_down",
     trajectory_selection: str = "index",
+    candidate_source: str = "wave",
     levels: int = 10,
     granularity: int = 512,
     seed: int | None = None,
@@ -317,6 +324,7 @@ def _purel(
         index_backend=index_backend,
         search_strategy=search_strategy,
         trajectory_selection=trajectory_selection,
+        candidate_source=candidate_source,
         levels=levels,
         granularity=granularity,
         seed=seed,

@@ -86,14 +86,17 @@ def run(
     workers: int | None = None,
     executor: str = "process",
     shards_per_worker: int = 4,
+    global_workers: int | None = 1,
 ) -> RunResult:
     """Anonymize ``data`` as ``spec`` describes; return a :class:`RunResult`.
 
     ``engine="batch"`` routes frequency-family methods through
     :class:`repro.engine.BatchAnonymizer` (``workers`` / ``executor`` /
-    ``shards_per_worker`` configure the pool) with output byte-identical
-    to the serial path for the same seed; other families run the method
-    as-is and reject the batch engine explicitly.
+    ``shards_per_worker`` configure the local-stage pool,
+    ``global_workers`` the global stage's wave-planning thread pool)
+    with output byte-identical to the serial path for the same seed;
+    other families run the method as-is and reject the batch engine
+    explicitly.
     """
     spec = as_spec(spec)
     if engine not in ENGINE_KINDS:
@@ -117,6 +120,7 @@ def run(
             workers=workers,
             executor=executor,
             shards_per_worker=shards_per_worker,
+            global_workers=global_workers,
         )
         started = time.perf_counter()
         dataset, report = front.anonymize_with_report(data)

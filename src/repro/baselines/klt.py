@@ -21,7 +21,7 @@ from collections import Counter
 
 from repro.baselines.glove import Glove
 from repro.trajectory.distance import synchronized_distance
-from repro.trajectory.model import LocationKey, Trajectory, TrajectoryDataset
+from repro.trajectory.model import LocationKey, TrajectoryDataset
 
 
 def poi_category(loc: LocationKey, n_categories: int = 8) -> int:

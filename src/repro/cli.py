@@ -33,6 +33,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import tarfile
 
 from repro.api import MethodSpec, method_info, method_names, run
 from repro.attacks.linkage import SIGNATURE_KINDS, LinkageAttack
@@ -72,11 +73,29 @@ def _build_parser() -> argparse.ArgumentParser:
         "cached artifact",
     )
     ingest.add_argument(
-        "-i", "--source", required=True,
-        help="raw source: a T-Drive file/directory or a planar CSV",
+        "-i", "--source", default=None,
+        help="raw source: a T-Drive file/directory or a planar CSV "
+        "(not needed with --export/--import)",
     )
     ingest.add_argument(
-        "--name", required=True, help="registry name of the dataset"
+        "--name", default=None,
+        help="registry name of the dataset (accepts name@version with "
+        "--export)",
+    )
+    ingest.add_argument(
+        "--export",
+        default=None,
+        metavar="TAR",
+        help="pack the named artifact into TAR (a .tar.gz with a "
+        "sha256 checksum in its meta.json) instead of ingesting",
+    )
+    ingest.add_argument(
+        "--import",
+        dest="import_archive",
+        default=None,
+        metavar="TAR",
+        help="install an exported artifact tarball into the registry "
+        "(checksum-verified) instead of ingesting",
     )
     ingest.add_argument(
         "--root",
@@ -186,6 +205,15 @@ def _build_parser() -> argparse.ArgumentParser:
         default="process",
         help="worker pool kind for --engine batch",
     )
+    anonymize.add_argument(
+        "--global-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="thread-pool size for the global stage's wave planning "
+        "with --engine batch; 0 = one per CPU core, 1 = in-process "
+        "(output is byte-identical for any value)",
+    )
 
     attack = sub.add_parser("attack", help="linkage attack between datasets")
     attack.add_argument("-i", "--original", required=True)
@@ -281,6 +309,46 @@ def _build_spec(args: argparse.Namespace) -> MethodSpec:
 def _cmd_ingest(args: argparse.Namespace) -> int:
     from repro.data.preprocess import PreprocessConfig
 
+    registry = DatasetRegistry(args.root)
+    if args.export and args.import_archive:
+        print(
+            "repro ingest: --export and --import are mutually exclusive",
+            file=sys.stderr,
+        )
+        return 2
+    if args.export:
+        if not args.name:
+            print(
+                "repro ingest: --export requires --name", file=sys.stderr
+            )
+            return 2
+        try:
+            dest = registry.export_artifact(args.name, args.export)
+        except KeyError as exc:
+            print(f"repro ingest: {exc.args[0]}", file=sys.stderr)
+            return 2
+        print(f"exported {args.name} -> {dest}")
+        return 0
+    if args.import_archive:
+        try:
+            result = registry.import_artifact(
+                args.import_archive, force=args.force
+            )
+        except (ValueError, FileNotFoundError, tarfile.TarError) as exc:
+            print(f"repro ingest: {exc}", file=sys.stderr)
+            return 2
+        verb = "imported" if result.fresh else "already installed"
+        print(f"{verb} {result.name}@{result.version}")
+        print(f"  artifact: {result.path}")
+        return 0
+    if not args.source or not args.name:
+        print(
+            "repro ingest: -i/--source and --name are required when "
+            "not using --export/--import",
+            file=sys.stderr,
+        )
+        return 2
+
     config = PreprocessConfig(
         gap_threshold_s=args.gap,
         min_points=args.min_points,
@@ -288,7 +356,6 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         resample_dt=args.resample_dt,
         snap=args.snap,
     )
-    registry = DatasetRegistry(args.root)
     result = registry.ingest(
         args.name,
         args.source,
@@ -340,6 +407,7 @@ def _cmd_anonymize(args: argparse.Namespace) -> int:
             engine=args.engine,
             workers=args.workers,
             executor=args.executor,
+            global_workers=args.global_workers,
         )
     except (ValueError, TypeError) as exc:
         print(f"repro anonymize: {exc}", file=sys.stderr)

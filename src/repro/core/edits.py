@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.geo.geometry import Coord, point_distance, point_segment_distance
-from repro.index.base import SegmentIndex
+from repro.index.base import SegmentIndex, bulk_insert
 from repro.trajectory.model import LocationKey, Point, Trajectory
 
 
@@ -81,6 +81,7 @@ class EditableTrajectory:
         self._node_by_sid: dict[int, _Node] = {}
         self.total_utility_loss = 0.0
         self._bbox_cache: tuple | None = None
+        starts: list[_Node] = []
         previous: _Node | None = None
         for point in trajectory:
             node = _Node(point)
@@ -90,9 +91,21 @@ class EditableTrajectory:
             else:
                 previous.next = node
                 node.prev = previous
-                self._index_segment(previous)
+                starts.append(previous)
             previous = node
         self._tail = previous
+        # Bulk-register the initial segments: one vectorised placement
+        # pass on indexes that support it, with sid assignment
+        # identical to the per-segment loop.
+        if starts:
+            sids = bulk_insert(
+                self.index,
+                [(n.point.coord, n.next.point.coord) for n in starts],
+                owner=self.object_id,
+            )
+            for node, sid in zip(starts, sids):
+                node.out_sid = sid
+                self._node_by_sid[sid] = node
 
     # -- bookkeeping -----------------------------------------------------------
 
@@ -132,6 +145,11 @@ class EditableTrajectory:
 
     def contains(self, loc: LocationKey) -> bool:
         return loc in self._nodes_by_loc
+
+    def locations(self):
+        """The distinct locations currently on the trajectory (a live
+        view; iterate before mutating)."""
+        return self._nodes_by_loc.keys()
 
     def node_for_segment(self, sid: int) -> bool:
         return sid in self._node_by_sid
@@ -300,6 +318,22 @@ class EditableTrajectory:
     def delete_all(self, loc: LocationKey) -> EditOutcome:
         """Remove every occurrence of ``loc`` (TF-decrease semantics)."""
         return self.delete_cheapest(loc, self.occurrence_count(loc))
+
+    def adjacent_locations(self, loc: LocationKey) -> set[LocationKey]:
+        """Locations of the surviving neighbours of every ``loc`` run.
+
+        Exactly the locations whose own deletion costs change when
+        ``delete_all(loc)`` runs: a node's cost reads only its direct
+        neighbours, and deleting every occurrence of ``loc`` re-links
+        precisely the nodes flanking each maximal run of them. The
+        wave planner uses this as decrease-conflict evidence.
+        """
+        adjacent: set[LocationKey] = set()
+        for node in self._nodes_by_loc.get(loc, ()):
+            for neighbour in (node.prev, node.next):
+                if neighbour is not None and neighbour.point.loc != loc:
+                    adjacent.add(neighbour.point.loc)
+        return adjacent
 
     def complete_deletion_cost(self, loc: LocationKey) -> float:
         """L[OP_d(q, τ)]: total cost of removing every occurrence of ``loc``.

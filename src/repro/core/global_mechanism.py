@@ -48,6 +48,23 @@ class TFPerturbation:
             if self.perturbed[loc] < tf
         ]
 
+    def schedule(
+        self,
+    ) -> list[tuple[str, list[tuple[LocationKey, int]]]]:
+        """The serial-order edit schedule realising this perturbation.
+
+        Two phases — every TF decrease (locations sorted), then every
+        TF increase (sorted) — exactly the order the serial reference
+        loop processes them in. The wave planner consumes this schedule
+        and regroups each phase into conflict-free waves without ever
+        reordering locations across a conflict, which is what keeps the
+        wave-parallel output byte-identical to the serial loop.
+        """
+        return [
+            ("decrease", sorted(self.decreases())),
+            ("increase", sorted(self.increases())),
+        ]
+
 
 class GlobalTFMechanism:
     """ε_G-differentially-private TF perturbation (Algorithm 1, lines 1-6)."""

@@ -20,8 +20,8 @@ strategies of Section IV-C2.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Callable, Iterator
+from dataclasses import dataclass
+from typing import Callable, Iterator, Sequence
 
 from repro.core.edits import EditableTrajectory
 from repro.core.global_mechanism import TFPerturbation
@@ -30,7 +30,7 @@ from repro.geo.geometry import BBox, Coord
 from repro.index.base import SegmentIndex
 from repro.index.hierarchical import HierarchicalGridIndex
 from repro.index.linear import LinearSegmentIndex
-from repro.index.search import iter_nearest_via_knn
+from repro.index.search import iter_nearest_via_knn, knn_batch_via_knn
 from repro.index.uniform import UniformGridIndex
 from repro.trajectory.model import LocationKey, Trajectory, TrajectoryDataset
 
@@ -100,6 +100,18 @@ def iter_nearest(index: SegmentIndex, q: Coord) -> Iterator[tuple[int, float]]:
     if native is not None:
         return native(q)
     return iter_nearest_via_knn(index, q)
+
+
+def search_knn_batch(
+    index: SegmentIndex, qs: Sequence[Coord], k: int, strategy: str
+) -> list[list[tuple[int, float]]]:
+    """Dispatch a batched kNN, passing the strategy where supported."""
+    if isinstance(index, HierarchicalGridIndex):
+        return index.knn_batch(qs, k, strategy=strategy)
+    native = getattr(index, "knn_batch", None)
+    if native is not None:
+        return native(qs, k)
+    return knn_batch_via_knn(index, qs, k)
 
 
 @dataclass(slots=True)
@@ -181,6 +193,101 @@ class IntraTrajectoryModifier:
         return report
 
 
+def rank_containing(
+    editables: dict[str, "EditableTrajectory"], loc: LocationKey
+) -> list["EditableTrajectory"]:
+    """Trajectories containing ``loc``, cheapest complete deletion first.
+
+    Stable-sorted, so equal-cost trajectories keep dataset order — the
+    deterministic ranking both the serial TF-decrease loop and the wave
+    planner's read-only simulation share.
+    """
+    containing = [
+        editable for editable in editables.values() if editable.contains(loc)
+    ]
+    containing.sort(key=lambda e: e.complete_deletion_cost(loc))
+    return containing
+
+
+def apply_decrease_selection(
+    editables: dict[str, "EditableTrajectory"],
+    loc: LocationKey,
+    delta: int,
+    owners: Sequence[str],
+    containing_count: int,
+) -> ModificationReport:
+    """Delete every occurrence of ``loc`` from the chosen ``owners``.
+
+    The application half of a TF decrease: ``owners`` is the ranked
+    selection (at most ``delta`` ids), ``containing_count`` how many
+    trajectories contained ``loc`` when the selection was made.
+    """
+    report = ModificationReport()
+    for owner in owners:
+        outcome = editables[owner].delete_all(loc)
+        report.utility_loss += outcome.utility_loss
+        report.deletions += -outcome.delta_points
+    if containing_count < delta:
+        report.unrealised += delta - containing_count
+    return report
+
+
+def apply_increase_selection(
+    shared_index: SegmentIndex,
+    editables: dict[str, "EditableTrajectory"],
+    loc: LocationKey,
+    delta: int,
+    chosen: Sequence[tuple[str, int]],
+) -> ModificationReport:
+    """Insert ``loc`` into each chosen ``(owner, sid)`` segment.
+
+    The application half of a TF increase, shared by the serial
+    per-location loop and the wave executor: selections are applied in
+    selection order, with the stale-sid guard intact (a chosen segment
+    that vanished through an earlier edit is replaced by the owner's
+    nearest live segment).
+    """
+    report = ModificationReport()
+    performed = 0
+    for owner, sid in chosen:
+        editable = editables[owner]
+        if not editable.node_for_segment(sid):
+            # The segment vanished through an earlier edit (cannot
+            # happen within one loc's batch, but guard anyway).
+            replacement = nearest_live_segment_of_owner(
+                shared_index, loc, editable
+            )
+            if replacement is None:
+                continue
+            sid = replacement
+        outcome = editable.insert_into_segment(loc, sid)
+        report.utility_loss += outcome.utility_loss
+        report.insertions += 1
+        performed += 1
+    report.unrealised += delta - performed
+    return report
+
+
+def nearest_live_segment_of_owner(
+    shared_index: SegmentIndex, loc: LocationKey, editable: "EditableTrajectory"
+) -> int | None:
+    """The owner's nearest *live* segment to ``loc``, or None.
+
+    Consumes the incremental frontier lazily and — unlike the old
+    restart-scan — verifies each hit against the editable's own
+    segment table: a stale sid that still matches the owner in the
+    shared index but no longer exists on the trajectory must not be
+    returned (inserting into it would raise).
+    """
+    for sid, _ in iter_nearest(shared_index, loc):
+        if (
+            shared_index.segment(sid).owner == editable.object_id
+            and editable.node_for_segment(sid)
+        ):
+            return sid
+    return None
+
+
 class InterTrajectoryModifier:
     """Realises a perturbed global TF distribution on the whole dataset.
 
@@ -196,16 +303,23 @@ class InterTrajectoryModifier:
       once the next bound exceeds the current Δl-th best cost. Both
       produce cost-equivalent selections.
 
-    ``candidate_source`` controls how segment candidates are obtained
-    for the ``"index"`` selection:
+    ``candidate_source`` controls how candidates are obtained for the
+    ``"index"`` selection:
 
-    * ``"incremental"`` (default) — pull candidates lazily from the
-      index's resumable ``iter_nearest`` frontier, stopping the moment
-      Δl owners are found;
+    * ``"wave"`` (default) — the planner/executor path: group
+      locations into conflict-free *waves* (see
+      :mod:`repro.core.waves`), simulate each wave's selections
+      read-only against one static index snapshot (sharing the
+      batched per-cell distance kernels), then apply the recorded
+      decisions in serial order. Byte-identical to ``"incremental"``
+      by construction;
+    * ``"incremental"`` — the per-location loop: pull candidates
+      lazily from the index's resumable ``iter_nearest`` frontier,
+      stopping the moment Δl owners are found;
     * ``"restart"`` — the original restart-scan: run ``knn`` with
       ``k = 4Δl`` and re-run from scratch with ``k`` quadrupled until
       enough owners appear. Kept as the baseline the engine benchmark
-      measures against. The two modes make cost-identical selections;
+      measures against. Restart makes cost-identical selections;
       exact-distance ties at the ``k`` boundary may resolve to a
       different (equally cheap) owner.
     """
@@ -215,13 +329,13 @@ class InterTrajectoryModifier:
         index_factory: IndexFactory | None = None,
         strategy: str = "bottom_up_down",
         trajectory_selection: str = "index",
-        candidate_source: str = "incremental",
+        candidate_source: str = "wave",
     ) -> None:
         if trajectory_selection not in ("index", "bbox"):
             raise ValueError(
                 f"unknown trajectory selection {trajectory_selection!r}"
             )
-        if candidate_source not in ("incremental", "restart"):
+        if candidate_source not in ("wave", "incremental", "restart"):
             raise ValueError(
                 f"unknown candidate source {candidate_source!r}"
             )
@@ -229,11 +343,23 @@ class InterTrajectoryModifier:
         self.strategy = strategy
         self.trajectory_selection = trajectory_selection
         self.candidate_source = candidate_source
+        #: Diagnostics of the most recent wave-planned run (None for
+        #: the serial candidate sources), akin to an index's
+        #: ``last_stats``.
+        self.last_wave_stats = None
 
     def apply(
-        self, dataset: TrajectoryDataset, perturbation: TFPerturbation
+        self,
+        dataset: TrajectoryDataset,
+        perturbation: TFPerturbation,
+        wave_map: Callable | None = None,
     ) -> tuple[TrajectoryDataset, ModificationReport]:
-        """A new dataset satisfying the perturbed TF distribution."""
+        """A new dataset satisfying the perturbed TF distribution.
+
+        ``wave_map`` (wave mode only) maps the planner's read-only
+        per-location simulations over an executor pool — the engine's
+        ``global_workers`` hook; ``None`` simulates in-process.
+        """
         report = ModificationReport()
         if len(dataset) == 0:
             return dataset.copy(), report
@@ -243,21 +369,45 @@ class InterTrajectoryModifier:
             for trajectory in dataset
         }
 
+        # ``candidate_source`` governs the "index" selection only; the
+        # bbox selection examines every trajectory, so waving it would
+        # degenerate to the serial loop — it keeps the reference path.
+        if (
+            self.candidate_source == "wave"
+            and self.trajectory_selection == "index"
+        ):
+            self._apply_waves(
+                shared_index, editables, perturbation, report, wave_map
+            )
+        else:
+            self._apply_serial(shared_index, editables, perturbation, report)
+
+        modified = TrajectoryDataset(
+            editables[trajectory.object_id].to_trajectory() for trajectory in dataset
+        )
+        return modified, report
+
+    def _apply_serial(
+        self,
+        shared_index: SegmentIndex,
+        editables: dict[str, EditableTrajectory],
+        perturbation: TFPerturbation,
+        report: ModificationReport,
+    ) -> None:
+        """The per-location reference loop (Algorithm 3's order)."""
         # TF decreases: completely delete the location from the Δl
         # trajectories with the cheapest complete-deletion loss.
         for loc, delta in sorted(perturbation.decreases()):
-            containing = [
-                editable
-                for editable in editables.values()
-                if editable.contains(loc)
-            ]
-            containing.sort(key=lambda e: e.complete_deletion_cost(loc))
-            for editable in containing[:delta]:
-                outcome = editable.delete_all(loc)
-                report.utility_loss += outcome.utility_loss
-                report.deletions += -outcome.delta_points
-            if len(containing) < delta:
-                report.unrealised += delta - len(containing)
+            containing = rank_containing(editables, loc)
+            report.merge(
+                apply_decrease_selection(
+                    editables,
+                    loc,
+                    delta,
+                    [e.object_id for e in containing[:delta]],
+                    len(containing),
+                )
+            )
 
         # TF increases: insert the location once into each of the Δl
         # nearest trajectories that do not already pass through it.
@@ -273,10 +423,26 @@ class InterTrajectoryModifier:
                     )
                 )
 
-        modified = TrajectoryDataset(
-            editables[trajectory.object_id].to_trajectory() for trajectory in dataset
+    def _apply_waves(
+        self,
+        shared_index: SegmentIndex,
+        editables: dict[str, EditableTrajectory],
+        perturbation: TFPerturbation,
+        report: ModificationReport,
+        wave_map: Callable | None,
+    ) -> None:
+        """Drive the planner/executor pair over the TF schedule."""
+        from repro.core.waves import WaveExecutor, WavePlanner
+
+        planner = WavePlanner(
+            shared_index, editables, strategy=self.strategy, wave_map=wave_map
         )
-        return modified, report
+        executor = WaveExecutor(shared_index, editables)
+        for kind, pending in perturbation.schedule():
+            while pending:
+                wave, pending = planner.plan_wave(kind, pending)
+                executor.apply_wave(kind, wave, report)
+        self.last_wave_stats = planner.stats
 
     def _insert_into_nearest_trajectories(
         self,
@@ -302,28 +468,16 @@ class InterTrajectoryModifier:
             report.unrealised += delta
             return report
 
-        if self.candidate_source == "incremental":
-            chosen = self._select_incremental(shared_index, eligible, loc, delta)
-        else:
+        if self.candidate_source == "restart":
             chosen = self._select_restart_scan(shared_index, eligible, loc, delta)
+        else:
+            chosen = self._select_incremental(shared_index, eligible, loc, delta)
 
-        performed = 0
-        for owner, sid in chosen.items():
-            editable = editables[owner]
-            if not editable.node_for_segment(sid):
-                # The segment vanished through an earlier edit (cannot
-                # happen within one loc's batch, but guard anyway).
-                replacement = self._nearest_segment_of_owner(
-                    shared_index, loc, editable
-                )
-                if replacement is None:
-                    continue
-                sid = replacement
-            outcome = editable.insert_into_segment(loc, sid)
-            report.utility_loss += outcome.utility_loss
-            report.insertions += 1
-            performed += 1
-        report.unrealised += delta - performed
+        report.merge(
+            apply_increase_selection(
+                shared_index, editables, loc, delta, list(chosen.items())
+            )
+        )
         return report
 
     def _select_incremental(
@@ -422,18 +576,5 @@ class InterTrajectoryModifier:
     def _nearest_segment_of_owner(
         self, shared_index: SegmentIndex, loc: LocationKey, editable: EditableTrajectory
     ) -> int | None:
-        """The owner's nearest *live* segment to ``loc``, or None.
-
-        Consumes the incremental frontier lazily and — unlike the old
-        restart-scan — verifies each hit against the editable's own
-        segment table: a stale sid that still matches the owner in the
-        shared index but no longer exists on the trajectory must not be
-        returned (inserting into it would raise).
-        """
-        for sid, _ in iter_nearest(shared_index, loc):
-            if (
-                shared_index.segment(sid).owner == editable.object_id
-                and editable.node_for_segment(sid)
-            ):
-                return sid
-        return None
+        """See :func:`nearest_live_segment_of_owner`."""
+        return nearest_live_segment_of_owner(shared_index, loc, editable)

@@ -17,6 +17,7 @@ import hashlib
 import math
 import random
 import threading
+import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
@@ -144,6 +145,13 @@ class FrequencyAnonymizer:
     index_backend, search_strategy, levels, granularity:
         Spatial-index configuration for the modification step (see
         :func:`repro.core.modification.make_index_factory`).
+    candidate_source:
+        How the global stage finds candidate trajectories:
+        ``"wave"`` (default — the planner/executor path, byte-identical
+        to the serial loop), ``"incremental"`` (the per-location lazy
+        frontier), or ``"restart"`` (the restart-scan benchmark
+        baseline). See :class:`~repro.core.modification
+        .InterTrajectoryModifier`.
     global_first:
         GL composition order. The paper notes the ordering is
         exchangeable; the default applies global then local.
@@ -164,6 +172,7 @@ class FrequencyAnonymizer:
         index_backend: str = "hierarchical",
         search_strategy: str = "bottom_up_down",
         trajectory_selection: str = "index",
+        candidate_source: str = "wave",
         levels: int = 10,
         granularity: int = 512,
         global_first: bool = True,
@@ -186,6 +195,7 @@ class FrequencyAnonymizer:
         self.index_backend = index_backend
         self.search_strategy = search_strategy
         self.trajectory_selection = trajectory_selection
+        self.candidate_source = candidate_source
         self.levels = levels
         self.granularity = granularity
         self.global_first = global_first
@@ -199,6 +209,7 @@ class FrequencyAnonymizer:
             factory,
             strategy=search_strategy,
             trajectory_selection=trajectory_selection,
+            candidate_source=candidate_source,
         )
         self._global = (
             GlobalTFMechanism(self.epsilon_global) if self.epsilon_global else None
@@ -208,11 +219,8 @@ class FrequencyAnonymizer:
             if self.epsilon_local
             else None
         )
-        #: Deprecated alias: the report of the most recent
-        #: :meth:`anonymize` call. Unsafe under concurrency — prefer
-        #: :meth:`anonymize_with_report` (or :func:`repro.api.run`),
-        #: which return the report with the result.
-        self.last_report: AnonymizationReport | None = None
+        #: Backing store of the deprecated :attr:`last_report` alias.
+        self._last_report: AnonymizationReport | None = None
         #: How many anonymize() calls this instance has served; mixes
         #: into each call's base seed so successive datasets get fresh
         #: noise while the run as a whole stays reproducible. Reserved
@@ -235,6 +243,7 @@ class FrequencyAnonymizer:
             "index_backend": self.index_backend,
             "search_strategy": self.search_strategy,
             "trajectory_selection": self.trajectory_selection,
+            "candidate_source": self.candidate_source,
             "levels": self.levels,
             "granularity": self.granularity,
             "global_first": self.global_first,
@@ -260,6 +269,34 @@ class FrequencyAnonymizer:
 
         return MethodSpec("frequency", self.config())
 
+    @property
+    def last_report(self) -> AnonymizationReport | None:
+        """Deprecated: the report of the most recent :meth:`anonymize`.
+
+        Mutable shared state — concurrent runs clobber it. Use
+        :meth:`anonymize_with_report` (or :func:`repro.api.run`), which
+        return the report with the result.
+        """
+        warnings.warn(
+            "FrequencyAnonymizer.last_report is deprecated; use "
+            "anonymize_with_report() or repro.api.run(), which return "
+            "the report with the result",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._last_report
+
+    @last_report.setter
+    def last_report(self, report: AnonymizationReport | None) -> None:
+        warnings.warn(
+            "FrequencyAnonymizer.last_report is deprecated; reports "
+            "travel with the return value of anonymize_with_report() "
+            "and repro.api.run()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._last_report = report
+
     def reserve_call_index(self) -> int:
         """Atomically claim the next per-call noise-stream index."""
         with self._call_lock:
@@ -274,7 +311,7 @@ class FrequencyAnonymizer:
         stores the report in the deprecated :attr:`last_report` alias.
         """
         result, report = self.anonymize_with_report(dataset)
-        self.last_report = report
+        self._last_report = report
         return result
 
     def anonymize_with_report(
@@ -283,6 +320,7 @@ class FrequencyAnonymizer:
         *,
         local_runner: LocalRunner | None = None,
         call_index: int | None = None,
+        wave_map: Callable | None = None,
     ) -> tuple[TrajectoryDataset, AnonymizationReport]:
         """Produce D* and its :class:`AnonymizationReport` together.
 
@@ -303,7 +341,10 @@ class FrequencyAnonymizer:
         ``local_runner`` overrides the local-stage executor for this
         call only (the batch engine's sharding hook); ``call_index``
         pins the per-call stream explicitly instead of reserving the
-        next one (worker processes replaying a specific call).
+        next one (worker processes replaying a specific call);
+        ``wave_map`` fans the global stage's read-only wave-planning
+        simulations over a pool (the batch engine's ``global_workers``
+        hook; only meaningful with ``candidate_source="wave"``).
         """
         if call_index is None:
             call_index = self.reserve_call_index()
@@ -318,7 +359,9 @@ class FrequencyAnonymizer:
         current = dataset
         for stage in stages:
             if stage == "global" and self._global is not None:
-                current = self._run_global(current, base_seed, accountant, report)
+                current = self._run_global(
+                    current, base_seed, accountant, report, wave_map
+                )
             elif stage == "local" and self._local is not None:
                 current = self._run_local(
                     current, base_seed, accountant, report, local_runner
@@ -333,6 +376,7 @@ class FrequencyAnonymizer:
         base_seed: int,
         accountant: PrivacyAccountant,
         report: AnonymizationReport,
+        wave_map: Callable | None = None,
     ) -> TrajectoryDataset:
         accountant.spend("global TF randomization", self.epsilon_global)
         signature_index = self.extractor.extract(dataset)
@@ -341,7 +385,9 @@ class FrequencyAnonymizer:
         perturbation = self._global.perturb(
             signature_index.tf, len(dataset), rng
         )
-        modified, modification = self._inter.apply(dataset, perturbation)
+        modified, modification = self._inter.apply(
+            dataset, perturbation, wave_map=wave_map
+        )
         report.tf_perturbation = perturbation
         report.global_report = modification
         return modified

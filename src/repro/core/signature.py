@@ -17,7 +17,7 @@ from __future__ import annotations
 import math
 import random
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.trajectory.model import LocationKey, Trajectory, TrajectoryDataset
 

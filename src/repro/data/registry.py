@@ -15,14 +15,25 @@ the same knobs is a cache hit, changing any knob creates a sibling
 version. ``<root>/<name>/latest`` records the most recent version.
 The root defaults to ``$REPRO_DATA_ROOT`` or ``~/.cache/repro/datasets``.
 The artifact schema is specified in ``docs/data.md``.
+
+Artifacts also travel between machines: :meth:`DatasetRegistry.export_
+artifact` packs one into a ``.tar.gz`` whose ``meta.json`` carries the
+sha256 of ``data.csv``, and :meth:`DatasetRegistry.import_artifact`
+installs such a tarball into a (different) registry root after
+verifying the checksum — so a preprocessed dataset ingested on one box
+can be shipped to a fleet without re-running preprocessing.
 """
 
 from __future__ import annotations
 
 import csv
+import hashlib
+import io
 import json
 import os
 import shutil
+import tarfile
+import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator
@@ -36,6 +47,15 @@ ARTIFACT_SCHEMA_VERSION = 1
 DATA_FILENAME = "data.csv"
 META_FILENAME = "meta.json"
 LATEST_FILENAME = "latest"
+
+
+def _sha256_of(path: Path) -> str:
+    """Streaming sha256 of a file (constant memory)."""
+    digest = hashlib.sha256()
+    with path.open("rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
 
 
 def default_root() -> Path:
@@ -162,11 +182,14 @@ class DatasetRegistry:
             meta = {
                 "schema": ARTIFACT_SCHEMA_VERSION,
                 "name": name,
+                "version": config.key(),
                 "source": str(source),
                 "format": format,
                 "origin": list(origin) if origin is not None else None,
                 "preprocess": config.to_dict(),
                 "stats": stats.to_dict(),
+                # Integrity of data.csv; verified on artifact import.
+                "sha256": _sha256_of(staging / DATA_FILENAME),
             }
             (staging / META_FILENAME).write_text(json.dumps(meta, indent=2))
             if target.exists():
@@ -200,6 +223,130 @@ class DatasetRegistry:
         return json.loads(
             (self.resolve(name, version) / META_FILENAME).read_text()
         )
+
+    # -- export / import -------------------------------------------------------
+
+    def export_artifact(
+        self, name: str, dest: str | Path, version: str | None = None
+    ) -> Path:
+        """Pack an ingested artifact into a ``.tar.gz`` at ``dest``.
+
+        The tarball holds ``<name>/<version>/{data.csv,meta.json}``
+        with the sha256 of ``data.csv`` recorded in ``meta.json``
+        (computed here for artifacts ingested before checksums
+        existed), so :meth:`import_artifact` on another machine can
+        verify the payload end to end. ``name`` accepts the usual
+        ``name[@version]`` reference syntax.
+        """
+        bare, _, ref_version = name.partition("@")
+        artifact = self.resolve(bare, version or ref_version or None)
+        meta = json.loads((artifact / META_FILENAME).read_text())
+        meta.setdefault("name", bare)
+        meta.setdefault("version", artifact.name)
+        meta.setdefault("sha256", _sha256_of(artifact / DATA_FILENAME))
+        dest = Path(dest)
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        prefix = f"{meta['name']}/{meta['version']}"
+        meta_bytes = json.dumps(meta, indent=2).encode()
+        with tarfile.open(dest, "w:gz") as tar:
+            tar.add(artifact / DATA_FILENAME, arcname=f"{prefix}/{DATA_FILENAME}")
+            info = tarfile.TarInfo(f"{prefix}/{META_FILENAME}")
+            info.size = len(meta_bytes)
+            tar.addfile(info, io.BytesIO(meta_bytes))
+        return dest
+
+    def import_artifact(
+        self, archive: str | Path, force: bool = False
+    ) -> IngestResult:
+        """Install an exported artifact tarball into this registry.
+
+        Extracts to a staging directory, verifies the sha256 recorded
+        in the tarball's ``meta.json`` against the extracted
+        ``data.csv``, then moves the artifact into place atomically
+        and updates the ``latest`` marker. A matching artifact that is
+        already installed short-circuits (cache hit) unless ``force``.
+        """
+        archive = Path(archive)
+        with tempfile.TemporaryDirectory(prefix="repro-import-") as tmp:
+            staging = Path(tmp)
+            with tarfile.open(archive, "r:*") as tar:
+                for member in tar.getmembers():
+                    # Only plain relative files (and the directories
+                    # that hold them) are legal artifact payload;
+                    # symlinks, devices, or path escapes mean a
+                    # malformed (or malicious) archive.
+                    target = Path(member.name)
+                    if target.is_absolute() or ".." in target.parts:
+                        raise ValueError(
+                            f"unsafe member path {member.name!r} in "
+                            f"artifact archive {archive}"
+                        )
+                    if member.isdir():
+                        continue
+                    if not member.isfile():
+                        raise ValueError(
+                            f"unsupported member {member.name!r} in "
+                            f"artifact archive {archive}"
+                        )
+                    tar.extract(member, staging, set_attrs=False)
+            metas = sorted(staging.glob(f"*/*/{META_FILENAME}"))
+            if len(metas) != 1:
+                raise ValueError(
+                    f"{archive} is not an artifact archive (expected "
+                    f"exactly one <name>/<version>/{META_FILENAME})"
+                )
+            meta_path = metas[0]
+            extracted = meta_path.parent
+            meta = json.loads(meta_path.read_text())
+            expected = meta.get("sha256")
+            if not expected:
+                raise ValueError(
+                    f"{archive}: meta.json carries no sha256 checksum"
+                )
+            actual = _sha256_of(extracted / DATA_FILENAME)
+            if actual != expected:
+                raise ValueError(
+                    f"{archive}: data.csv checksum mismatch (meta.json "
+                    f"says {expected}, payload is {actual}) — refusing "
+                    f"to install a corrupted artifact"
+                )
+            name = meta.get("name") or extracted.parent.name
+            version = meta.get("version") or extracted.name
+            # The install path comes from meta.json, which is attacker
+            # data: both components must be single plain path segments
+            # or a crafted archive could escape (and rmtree outside)
+            # the registry root.
+            for label, value in (("name", name), ("version", version)):
+                if (
+                    not value
+                    or value in (".", "..")
+                    or "/" in value
+                    or os.sep in value
+                    or (os.altsep and os.altsep in value)
+                ):
+                    raise ValueError(
+                        f"{archive}: meta.json {label} {value!r} is not "
+                        f"a plain path segment — refusing to install"
+                    )
+            target = self.root / name / version
+            try:
+                stats = IngestStats(**meta["stats"])
+            except (KeyError, TypeError) as exc:
+                raise ValueError(
+                    f"{archive}: meta.json carries no valid ingest "
+                    f"stats ({exc}) — not an exported artifact"
+                ) from exc
+            if is_artifact(target) and not force:
+                return IngestResult(name, version, target, stats, fresh=False)
+            target.parent.mkdir(parents=True, exist_ok=True)
+            if target.exists():
+                shutil.rmtree(target)
+            # The move is the last step, so a half-written target never
+            # looks like a valid artifact (shutil.move also handles a
+            # temp dir on a different filesystem than the root).
+            shutil.move(str(extracted), str(target))
+        (target.parent / LATEST_FILENAME).write_text(version)
+        return IngestResult(name, version, target, stats, fresh=True)
 
     def stream(self, name: str, version: str | None = None) -> Iterator[Trajectory]:
         """Lazily iterate an ingested dataset's trips."""

@@ -14,7 +14,7 @@ from __future__ import annotations
 import heapq
 import math
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.geo.geometry import BBox, Coord, point_distance, point_segment_distance, project_onto_segment
 

@@ -34,6 +34,7 @@ from repro.core.pipeline import (
 from repro.core.signature import SignatureIndex
 from repro.engine.pool import (
     EXECUTOR_KINDS,
+    _make_executor,
     parallel_map,
     parallel_map_stream,
     resolve_workers,
@@ -119,6 +120,14 @@ class BatchAnonymizer:
         Shards are contiguous dataset slices; a few shards per worker
         smooths out uneven trajectory lengths without drowning the pool
         in pickling overhead.
+    global_workers:
+        Pool size for the global stage's wave planning (``0``/``None``
+        = one per core, ``1`` = plan in-process). The planner's
+        per-location simulations are read-only against a shared index,
+        so they fan over a *thread* pool regardless of ``executor``
+        (processes cannot share the live index); output stays
+        byte-identical for any value. Only effective when the wrapped
+        pipeline uses ``candidate_source="wave"`` (the default).
     """
 
     def __init__(
@@ -127,6 +136,7 @@ class BatchAnonymizer:
         workers: int | None = None,
         executor: str = "process",
         shards_per_worker: int = 4,
+        global_workers: int | None = 1,
     ) -> None:
         if executor not in EXECUTOR_KINDS:
             raise ValueError(
@@ -138,6 +148,7 @@ class BatchAnonymizer:
         self.workers = resolve_workers(workers)
         self.executor = executor
         self.shards_per_worker = shards_per_worker
+        self.global_workers = resolve_workers(global_workers)
 
     @property
     def last_report(self) -> AnonymizationReport | None:
@@ -154,7 +165,7 @@ class BatchAnonymizer:
             DeprecationWarning,
             stacklevel=2,
         )
-        return self.anonymizer.last_report
+        return self.anonymizer._last_report
 
     def anonymize(self, dataset: TrajectoryDataset) -> TrajectoryDataset:
         """ε-DP anonymization, local stage fanned across the pool.
@@ -164,7 +175,7 @@ class BatchAnonymizer:
         ``last_report`` alias; prefer :meth:`anonymize_with_report`.
         """
         result, report = self.anonymize_with_report(dataset)
-        self.anonymizer.last_report = report
+        self.anonymizer._last_report = report
         return result
 
     def anonymize_with_report(
@@ -172,11 +183,20 @@ class BatchAnonymizer:
     ) -> tuple[TrajectoryDataset, AnonymizationReport]:
         """Anonymize and return ``(dataset, report)`` together.
 
-        Nothing is stored on the wrapped anonymizer — the sharding
-        hook travels as a per-call argument — so concurrent calls on
-        one engine are safe: each gets its own report and its own
-        atomically reserved noise stream.
+        Nothing is stored on the wrapped anonymizer — the sharding and
+        wave-planning hooks travel as per-call arguments — so
+        concurrent calls on one engine are safe: each gets its own
+        report and its own atomically reserved noise stream.
         """
+        if self.global_workers > 1:
+            pool = _make_executor("thread", self.global_workers)
+            if pool is not None:
+                with pool:
+                    return self.anonymizer.anonymize_with_report(
+                        dataset,
+                        local_runner=self._run_local_sharded,
+                        wave_map=lambda fn, jobs: list(pool.map(fn, jobs)),
+                    )
         return self.anonymizer.anonymize_with_report(
             dataset, local_runner=self._run_local_sharded
         )
@@ -210,7 +230,7 @@ class BatchAnonymizer:
             # ran on throwaway worker-side instances, so reflect each
             # report onto the wrapped anonymizer. The authoritative
             # channel is the yielded (result, report) pair.
-            self.anonymizer.last_report = report
+            self.anonymizer._last_report = report
             yield result, report
 
     def anonymize_many(

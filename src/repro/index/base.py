@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Protocol, runtime_checkable
+from typing import Iterable, Iterator, Protocol, Sequence, runtime_checkable
 
 from repro.geo.geometry import Coord, point_segment_distance
 
@@ -61,8 +61,58 @@ class SegmentIndex(Protocol):
         """
         ...
 
+    def knn_batch(self, qs: Sequence[Coord], k: int) -> list[list[tuple[int, float]]]:
+        """:meth:`knn` for a batch of queries, one result list per query.
+
+        Answers every query against the *same* index snapshot, which
+        lets grid backends share per-cell vectorised segment batches
+        across the whole query set instead of rebuilding them per call.
+        Each per-query result is exactly what :meth:`knn` returns.
+
+        Implementors can delegate to
+        :func:`repro.index.search.knn_batch_via_knn`.
+        """
+        ...
+
+    def iter_nearest_batch(
+        self, qs: Sequence[Coord]
+    ) -> list[Iterator[tuple[int, float]]]:
+        """:meth:`iter_nearest` for a batch of queries.
+
+        Returns one lazy iterator per query; all of them walk the same
+        index snapshot, so per-cell segment batches computed for one
+        query are reused by the others — the right surface for
+        consumers that need unbounded per-query frontiers over one
+        snapshot (the wave planner itself answers its simulations with
+        :meth:`knn_batch` plus a growing-``k`` rescan). Mutating the
+        index invalidates every returned iterator.
+
+        Implementors can delegate to
+        :func:`repro.index.search.iter_nearest_batch_via_single`.
+        """
+        ...
+
     def __len__(self) -> int:
         ...
+
+
+def bulk_insert(
+    index: SegmentIndex,
+    pairs: Sequence[tuple[Coord, Coord]],
+    owner: str | None = None,
+) -> list[int]:
+    """Insert a batch of segments, returning their sids in input order.
+
+    Dispatches to the index's native ``insert_many`` when present (the
+    hierarchical grid vectorises best-fit placement over the whole
+    batch), else falls back to per-segment ``insert``. Allocation
+    order — hence sid assignment — matches the equivalent insert loop
+    exactly, so the two paths are interchangeable byte for byte.
+    """
+    native = getattr(index, "insert_many", None)
+    if native is not None:
+        return native(pairs, owner=owner)
+    return [index.insert(a, b, owner=owner) for a, b in pairs]
 
 
 class SegmentRegistry:

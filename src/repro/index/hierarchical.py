@@ -42,6 +42,15 @@ ROOT: CellKey = (0, 0, 0)
 _STRATEGIES = ("top_down", "bottom_up", "bottom_up_down")
 
 
+def _bit_lengths(values: np.ndarray) -> np.ndarray:
+    """``int.bit_length`` for a non-negative int64 array.
+
+    The binary exponent from ``frexp`` — exact for values below 2**53,
+    far beyond any grid coordinate (< 2**levels).
+    """
+    return np.frexp(values.astype(np.float64))[1].astype(np.int64)
+
+
 @dataclass(slots=True)
 class _Cell:
     """Bookkeeping for one existing cell."""
@@ -176,6 +185,79 @@ class HierarchicalGridIndex:
         cell.array = None
         return segment.sid
 
+    def insert_many(
+        self,
+        pairs,
+        owner: str | None = None,
+    ) -> list[int]:
+        """Bulk :meth:`insert`: one vectorised best-fit pass per batch.
+
+        Computes every segment's finest-level coordinates, diverging
+        bit count, and best-fit cell (Definition 11) in numpy across
+        the whole batch, leaving only the registry/cell bookkeeping in
+        Python. Identical placement and sid allocation to the
+        equivalent ``insert`` loop.
+        """
+        if not pairs:
+            return []
+        starts = np.asarray([a for a, _ in pairs], dtype=np.float64)
+        ends = np.asarray([b for _, b in pairs], dtype=np.float64)
+        inside = (
+            (starts[:, 0] >= self.bbox.min_x)
+            & (starts[:, 0] <= self.bbox.max_x)
+            & (starts[:, 1] >= self.bbox.min_y)
+            & (starts[:, 1] <= self.bbox.max_y)
+            & (ends[:, 0] >= self.bbox.min_x)
+            & (ends[:, 0] <= self.bbox.max_x)
+            & (ends[:, 1] >= self.bbox.min_y)
+            & (ends[:, 1] <= self.bbox.max_y)
+        )
+        fx_a, fy_a = self._finest_coords_batch(starts)
+        fx_b, fy_b = self._finest_coords_batch(ends)
+        diverging = np.maximum(
+            _bit_lengths(fx_a ^ fx_b), _bit_lengths(fy_a ^ fy_b)
+        )
+        levels = self._finest - diverging
+        cxs = fx_a >> diverging
+        cys = fy_a >> diverging
+        sids: list[int] = []
+        for position, (a, b) in enumerate(pairs):
+            segment = self._registry.allocate(a, b, owner)
+            sids.append(segment.sid)
+            if not inside[position]:
+                self._cell_of_sid[segment.sid] = None
+                self._overflow.add(segment.sid)
+                continue
+            key = (
+                int(levels[position]),
+                int(cxs[position]),
+                int(cys[position]),
+            )
+            self._cell_of_sid[segment.sid] = key
+            cell = self._cells.get(key)
+            if cell is None:
+                cell = _Cell()
+                self._cells[key] = cell
+                self._link_ancestors(key)
+            cell.segments.add(segment.sid)
+            cell.array = None
+        return sids
+
+    def _finest_coords_batch(
+        self, points: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`_finest_coords`: same IEEE operations in
+        the same order, so placement matches the scalar path exactly."""
+        fx = np.floor(
+            (points[:, 0] - self.bbox.min_x) / self._width * self._side
+        ).astype(np.int64)
+        fy = np.floor(
+            (points[:, 1] - self.bbox.min_y) / self._height * self._side
+        ).astype(np.int64)
+        np.clip(fx, 0, self._side - 1, out=fx)
+        np.clip(fy, 0, self._side - 1, out=fy)
+        return fx, fy
+
     def _link_ancestors(self, key: CellKey) -> None:
         """Ensure the chain from ``key`` up to the root exists."""
         child = key
@@ -233,23 +315,47 @@ class HierarchicalGridIndex:
         """K-nearest segment search with the chosen strategy."""
         if strategy not in _STRATEGIES:
             raise ValueError(f"unknown strategy {strategy!r}; choose from {_STRATEGIES}")
-        self.last_stats = SearchStats()
+        stats = SearchStats()
+        self.last_stats = stats
+        return self._knn_one(q, k, strategy, stats)
+
+    def knn_batch(
+        self, qs, k: int, strategy: str = "bottom_up_down"
+    ) -> list[list[tuple[int, float]]]:
+        """:meth:`knn` for a batch of queries against one index snapshot.
+
+        Every query reuses the same cached per-cell
+        :class:`~repro.geo.vectorized.SegmentArray` batches (built at
+        most once per cell for the whole call), so a batch over a
+        static index does the numpy distance kernels per (query, cell)
+        but the Python-side view construction only per cell.
+        :attr:`last_stats` accumulates the work of the whole batch.
+        """
+        if strategy not in _STRATEGIES:
+            raise ValueError(f"unknown strategy {strategy!r}; choose from {_STRATEGIES}")
+        stats = SearchStats()
+        self.last_stats = stats
+        return [self._knn_one(q, k, strategy, stats) for q in qs]
+
+    def _knn_one(
+        self, q: Coord, k: int, strategy: str, stats: SearchStats
+    ) -> list[tuple[int, float]]:
         if not self._cells and not self._overflow:
             return []
         candidates = KnnCandidates(k)
         # Out-of-bbox segments carry no valid cell bound; check them
         # exactly up front (this also tightens θ_K before descent).
         for sid in self._overflow:
-            self.last_stats.segments_checked += 1
+            stats.segments_checked += 1
             candidates.offer(sid, self._registry.get(sid).distance_to(q))
         if not self._cells:
             return candidates.results()
         if strategy == "top_down":
-            self._search_top_down(q, candidates)
+            self._search_top_down(q, candidates, stats)
         elif strategy == "bottom_up":
-            self._search_bottom_up(q, candidates)
+            self._search_bottom_up(q, candidates, stats)
         else:
-            self._search_bottom_up_down(q, candidates)
+            self._search_bottom_up_down(q, candidates, stats)
         return candidates.results()
 
     def _cell_view(self, cell: _Cell) -> tuple[list[int], SegmentArray]:
@@ -265,6 +371,29 @@ class HierarchicalGridIndex:
         return cell.array
 
     def iter_nearest(self, q: Coord):
+        """Resumable best-first frontier over the cell hierarchy; see
+        :meth:`_iter_nearest` for the algorithm."""
+        stats = SearchStats()
+        self.last_stats = stats
+        yield from self._iter_nearest(q, stats)
+
+    def iter_nearest_batch(self, qs) -> list:
+        """:meth:`iter_nearest` for a batch of queries, one lazy
+        iterator per query.
+
+        All iterators walk the same index snapshot and share the
+        per-cell cached ``SegmentArray`` batches — on a static index
+        (the wave planner's read-only simulation rounds) each cell's
+        Python-side view is built at most once for the whole batch,
+        no matter how many query frontiers expand it.
+        :attr:`last_stats` is reset once, up front, and accumulates
+        the combined work of every iterator as it is consumed.
+        """
+        stats = SearchStats()
+        self.last_stats = stats
+        return [self._iter_nearest(q, stats) for q in qs]
+
+    def _iter_nearest(self, q: Coord, stats: SearchStats):
         """Resumable best-first frontier over the cell hierarchy.
 
         One priority queue holds unexplored cells (keyed by MINdist,
@@ -281,17 +410,20 @@ class HierarchicalGridIndex:
         inside an unexpanded cell cannot be skipped; segment ties
         resolve by ascending sid exactly like :meth:`knn` (within a
         cell the batch is (distance, sid)-sorted, and every cell's head
-        is always on the heap). Work is recorded in :attr:`last_stats`
-        like any other search.
+        is always on the heap). Work is recorded in ``stats`` (the
+        caller's :attr:`last_stats`) like any other search.
         """
-        self.last_stats = SearchStats()
         if not self._cells and not self._overflow:
             return
         # Entries: (distance, kind, key, ...) with kind 0 = cell —
         # (dist, 0, cell key) — and kind 1 = segment cursor —
-        # (dist, 1, sid, sorted sids, sorted distances, position).
-        # Comparison never reaches the unorderable payload: kind
-        # separates the shapes and sids are unique.
+        # (dist, 1, sid, sids, order, raw distances, position), where
+        # sids is the cell's sorted sid list and order/raw stay numpy:
+        # only the cursor head is ever converted to Python scalars, so
+        # a cell whose tail the consumer never reaches costs nothing
+        # beyond its one vectorised distance pass. Comparison never
+        # reaches the unorderable payload: kind separates the shapes
+        # and sids are unique.
         heap: list[tuple] = []
         if self._cells:
             heap.append((self.min_distance(q, ROOT), 0, ROOT))
@@ -299,66 +431,77 @@ class HierarchicalGridIndex:
             # Out-of-bbox segments have no valid cell bound: enter the
             # frontier as one pre-sorted exact-distance cursor.
             sids = sorted(self._overflow)
-            self.last_stats.segments_checked += len(sids)
-            raw = [self._registry.get(sid).distance_to(q) for sid in sids]
-            order = sorted(range(len(sids)), key=lambda i: (raw[i], sids[i]))
-            sorted_sids = [sids[i] for i in order]
-            sorted_distances = [raw[i] for i in order]
-            heap.append(
-                (sorted_distances[0], 1, sorted_sids[0], sorted_sids,
-                 sorted_distances, 0)
+            stats.segments_checked += len(sids)
+            raw = np.array(
+                [self._registry.get(sid).distance_to(q) for sid in sids]
             )
+            order = np.argsort(raw, kind="stable")
+            head = int(order[0])
+            heap.append((float(raw[head]), 1, sids[head], sids, order, raw, 0))
         heapq.heapify(heap)
         while heap:
             entry = heapq.heappop(heap)
             if entry[1]:
-                dist, _, sid, sids, distances, position = entry
+                dist, _, sid, sids, order, raw, position = entry
                 yield sid, dist
                 position += 1
-                if position < len(sids):
+                if position < len(order):
+                    head = int(order[position])
                     heapq.heappush(
                         heap,
-                        (
-                            distances[position],
-                            1,
-                            sids[position],
-                            sids,
-                            distances,
-                            position,
-                        ),
+                        (float(raw[head]), 1, sids[head], sids, order, raw,
+                         position),
                     )
                 continue
             cell = self._cells.get(entry[2])
             if cell is None:
                 continue
-            self.last_stats.cells_visited += 1
+            stats.cells_visited += 1
             if cell.segments:
                 sids, array = self._cell_view(cell)
-                self.last_stats.segments_checked += len(sids)
+                stats.segments_checked += len(sids)
                 raw = array.distances_to(q)
                 # Stable sort on distance keeps ascending-sid ties
                 # (sids is sorted), giving the (distance, sid) order
                 # knn's candidate heap produces.
                 order = np.argsort(raw, kind="stable")
-                sorted_sids = [sids[i] for i in order]
-                sorted_distances = [float(raw[i]) for i in order]
+                head = int(order[0])
                 heapq.heappush(
-                    heap,
-                    (sorted_distances[0], 1, sorted_sids[0], sorted_sids,
-                     sorted_distances, 0),
+                    heap, (float(raw[head]), 1, sids[head], sids, order, raw, 0)
                 )
             for child in cell.children:
                 heapq.heappush(heap, (self.min_distance(q, child), 0, child))
 
-    def _check_cell(self, q: Coord, key: CellKey, candidates: KnnCandidates) -> None:
-        """Compute exact distances for every segment stored in ``key``."""
+    def _check_cell(
+        self, q: Coord, key: CellKey, candidates: KnnCandidates,
+        stats: SearchStats,
+    ) -> None:
+        """Compute exact distances for every segment stored in ``key``.
+
+        One vectorised pass over the cell's cached
+        :class:`~repro.geo.vectorized.SegmentArray` replaces the old
+        per-segment Python distance loop, for every search strategy at
+        once; distances already at or beyond θ_K are filtered on the
+        numpy side before they reach the candidate heap (``offer``
+        rejects non-improving candidates, so the filter is pure
+        short-circuiting). Ascending-sid offer order keeps boundary
+        ties resolved exactly like the linear baseline.
+        """
         cell = self._cells.get(key)
         if cell is None:
             return
-        self.last_stats.cells_visited += 1
-        for sid in cell.segments:
-            self.last_stats.segments_checked += 1
-            candidates.offer(sid, self._registry.get(sid).distance_to(q))
+        stats.cells_visited += 1
+        if not cell.segments:
+            return
+        sids, array = self._cell_view(cell)
+        stats.segments_checked += len(sids)
+        distances = array.distances_to(q)
+        if candidates.full:
+            positions = np.flatnonzero(distances < candidates.threshold)
+        else:
+            positions = range(len(sids))
+        for position in positions:
+            candidates.offer(sids[position], float(distances[position]))
 
     def _existing_children(self, key: CellKey) -> set[CellKey]:
         cell = self._cells.get(key)
@@ -379,13 +522,15 @@ class HierarchicalGridIndex:
 
     # -- strategy: top-down ---------------------------------------------------------
 
-    def _search_top_down(self, q: Coord, candidates: KnnCandidates) -> None:
+    def _search_top_down(
+        self, q: Coord, candidates: KnnCandidates, stats: SearchStats
+    ) -> None:
         heap: list[tuple[float, CellKey]] = [(0.0, ROOT)]
         while heap:
             dist, key = heapq.heappop(heap)
             if candidates.full and dist > candidates.threshold:
                 break
-            self._check_cell(q, key, candidates)
+            self._check_cell(q, key, candidates, stats)
             for child in self._existing_children(key):
                 child_dist = self.min_distance(q, child)
                 if not candidates.full or child_dist <= candidates.threshold:
@@ -393,7 +538,9 @@ class HierarchicalGridIndex:
 
     # -- strategy: bottom-up ----------------------------------------------------------
 
-    def _search_bottom_up(self, q: Coord, candidates: KnnCandidates) -> None:
+    def _search_bottom_up(
+        self, q: Coord, candidates: KnnCandidates, stats: SearchStats
+    ) -> None:
         """Climb from the query's finest cell, exploring exposed subtrees.
 
         At each level up, the newly reachable region (the parent minus
@@ -403,7 +550,7 @@ class HierarchicalGridIndex:
         visited: set[CellKey] = set()
         current: CellKey | None = self._locate_start(q)
         while current is not None:
-            self._explore_subtree(q, current, candidates, visited)
+            self._explore_subtree(q, current, candidates, visited, stats)
             current = self.parent_of(current)
 
     def _explore_subtree(
@@ -412,6 +559,7 @@ class HierarchicalGridIndex:
         root: CellKey,
         candidates: KnnCandidates,
         visited: set[CellKey],
+        stats: SearchStats,
     ) -> None:
         if root in visited:
             heap: list[tuple[float, CellKey]] = [
@@ -429,7 +577,7 @@ class HierarchicalGridIndex:
             if candidates.full and dist > candidates.threshold:
                 continue
             visited.add(key)
-            self._check_cell(q, key, candidates)
+            self._check_cell(q, key, candidates, stats)
             for child in self._existing_children(key):
                 if child not in visited:
                     child_dist = self.min_distance(q, child)
@@ -438,7 +586,9 @@ class HierarchicalGridIndex:
 
     # -- strategy: bottom-up-down (Algorithm 3) -----------------------------------------
 
-    def _search_bottom_up_down(self, q: Coord, candidates: KnnCandidates) -> None:
+    def _search_bottom_up_down(
+        self, q: Coord, candidates: KnnCandidates, stats: SearchStats
+    ) -> None:
         stack: list[tuple[CellKey, float]] = []
         queue: list[tuple[float, CellKey]] = []
         visited: set[CellKey] = set()
@@ -468,7 +618,7 @@ class HierarchicalGridIndex:
                 if candidates.full and dist > candidates.threshold:
                     break  # Theorem 4: nothing closer can remain.
             visited.add(key)
-            self._check_cell(q, key, candidates)
+            self._check_cell(q, key, candidates, stats)
 
             parent = self.parent_of(key)
             if not root_access and parent is not None and parent not in visited:

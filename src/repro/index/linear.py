@@ -13,7 +13,11 @@ from typing import Iterator
 
 from repro.geo.geometry import Coord
 from repro.index.base import IndexedSegment, SegmentRegistry
-from repro.index.search import linear_knn
+from repro.index.search import (
+    iter_nearest_batch_via_single,
+    knn_batch_via_knn,
+    linear_knn,
+)
 
 
 class LinearSegmentIndex:
@@ -50,6 +54,13 @@ class LinearSegmentIndex:
         array = SegmentArray.from_pairs([(s.a, s.b) for s in segments])
         for row, dist in array.nearest_order(q):
             yield segments[row].sid, dist
+
+    def knn_batch(self, qs, k: int) -> list[list[tuple[int, float]]]:
+        """Per-query full scans (the honest linear-baseline batch)."""
+        return knn_batch_via_knn(self, qs, k)
+
+    def iter_nearest_batch(self, qs) -> list[Iterator[tuple[int, float]]]:
+        return iter_nearest_batch_via_single(self, qs)
 
     def __len__(self) -> int:
         return len(self._registry)

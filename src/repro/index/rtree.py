@@ -20,7 +20,11 @@ from dataclasses import dataclass, field
 
 from repro.geo.geometry import BBox, Coord
 from repro.index.base import IndexedSegment, SegmentRegistry
-from repro.index.search import KnnCandidates
+from repro.index.search import (
+    KnnCandidates,
+    iter_nearest_batch_via_single,
+    knn_batch_via_knn,
+)
 
 
 @dataclass(slots=True)
@@ -232,3 +236,10 @@ class RTreeIndex:
                     heapq.heappush(
                         heap, (child.mbr.min_distance(q), 0, counter, child)
                     )
+
+    def knn_batch(self, qs, k: int) -> list[list[tuple[int, float]]]:
+        """Per-query best-first traversals (``search.py`` fallback)."""
+        return knn_batch_via_knn(self, qs, k)
+
+    def iter_nearest_batch(self, qs):
+        return iter_nearest_batch_via_single(self, qs)

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import heapq
-from typing import TYPE_CHECKING, Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 from repro.geo.geometry import Coord
 from repro.index.base import IndexedSegment
@@ -90,6 +90,29 @@ def iter_nearest_via_knn(
         if len(hits) < k or len(seen) >= len(index):
             return
         k *= growth
+
+
+def knn_batch_via_knn(
+    index: "SegmentIndex", qs: Sequence[Coord], k: int
+) -> list[list[tuple[int, float]]]:
+    """Fallback ``knn_batch``: answer each query with a plain ``knn``.
+
+    Backends without cross-query structure sharing (linear scan,
+    R-tree) satisfy the batched protocol with this; grid indexes
+    override it natively to reuse per-cell segment batches.
+    """
+    return [index.knn(q, k) for q in qs]
+
+
+def iter_nearest_batch_via_single(
+    index: "SegmentIndex", qs: Sequence[Coord]
+) -> list[Iterator[tuple[int, float]]]:
+    """Fallback ``iter_nearest_batch``: one ``iter_nearest`` per query.
+
+    The iterators are independent but walk the same index snapshot;
+    whatever per-structure caching the backend does is still shared.
+    """
+    return [index.iter_nearest(q) for q in qs]
 
 
 def linear_knn(

@@ -13,6 +13,7 @@ import math
 from typing import Iterator
 
 from repro.geo.geometry import BBox, Coord
+from repro.geo.vectorized import SegmentArray
 from repro.index.base import IndexedSegment, SegmentRegistry
 from repro.index.search import KnnCandidates
 
@@ -51,6 +52,12 @@ class UniformGridIndex:
         self._registry = SegmentRegistry()
         self._cells: dict[tuple[int, int], set[int]] = {}
         self._cells_of_sid: dict[int, list[tuple[int, int]]] = {}
+        #: Lazily-built vectorised views ``cell -> (sorted sids,
+        #: SegmentArray)``, invalidated per cell on insert/remove. One
+        #: numpy distance pass per bucket replaces the per-segment
+        #: Python loop, and batched queries over a static index reuse
+        #: every view.
+        self._views: dict[tuple[int, int], tuple[list[int], SegmentArray]] = {}
         #: Longest segment half-extent, for midpoint-mode ring bounds.
         self._max_half_extent = 0.0
         #: Segments with an endpoint outside ``bbox``. Clamped cell
@@ -107,6 +114,7 @@ class UniformGridIndex:
                 self._max_half_extent = half
         for cell in cells:
             self._cells.setdefault(cell, set()).add(segment.sid)
+            self._views.pop(cell, None)
         self._cells_of_sid[segment.sid] = cells
         return segment.sid
 
@@ -117,6 +125,7 @@ class UniformGridIndex:
             bucket = self._cells.get(cell)
             if bucket is not None:
                 bucket.discard(sid)
+                self._views.pop(cell, None)
                 if not bucket:
                     del self._cells[cell]
 
@@ -125,6 +134,22 @@ class UniformGridIndex:
 
     def __len__(self) -> int:
         return len(self._registry)
+
+    def _cell_view(
+        self, cell: tuple[int, int]
+    ) -> tuple[list[int], SegmentArray]:
+        """The bucket's vectorised segment view, built lazily and
+        cached until the bucket next changes."""
+        view = self._views.get(cell)
+        if view is None:
+            sids = sorted(self._cells[cell])
+            pairs = []
+            for sid in sids:
+                segment = self._registry.get(sid)
+                pairs.append((segment.a, segment.b))
+            view = (sids, SegmentArray.from_pairs(pairs))
+            self._views[cell] = view
+        return view
 
     # -- search --------------------------------------------------------------------
 
@@ -161,12 +186,23 @@ class UniformGridIndex:
                     cell_bound = self.cell_bbox(cx, cy).min_distance(q) - slack
                     if cell_bound > candidates.threshold:
                         continue
-                for sid in bucket:
+                sids, array = self._cell_view((cx, cy))
+                distances = array.distances_to(q)
+                for position, sid in enumerate(sids):
                     if sid in seen:
                         continue
                     seen.add(sid)
-                    candidates.offer(sid, self._registry.get(sid).distance_to(q))
+                    candidates.offer(sid, float(distances[position]))
         return candidates.results()
+
+    def knn_batch(self, qs, k: int) -> list[list[tuple[int, float]]]:
+        """:meth:`knn` for a batch of queries against one snapshot.
+
+        Ring expansion runs per query, but every touched bucket's
+        vectorised segment view is cached across the whole batch (and
+        across calls, until the bucket changes).
+        """
+        return [self.knn(q, k) for q in qs]
 
     def iter_nearest(self, q: Coord) -> Iterator[tuple[int, float]]:
         """Incremental nearest-segment iteration by ring expansion.
@@ -195,13 +231,13 @@ class UniformGridIndex:
                 bucket = self._cells.get((cx, cy))
                 if not bucket:
                     continue
-                for sid in bucket:
+                sids, array = self._cell_view((cx, cy))
+                distances = array.distances_to(q)
+                for position, sid in enumerate(sids):
                     if sid in seen:
                         continue
                     seen.add(sid)
-                    heapq.heappush(
-                        heap, (self._registry.get(sid).distance_to(q), sid)
-                    )
+                    heapq.heappush(heap, (float(distances[position]), sid))
             safe = ring * min_cell - slack
             while heap and heap[0][0] <= safe:
                 dist, sid = heapq.heappop(heap)
@@ -209,6 +245,10 @@ class UniformGridIndex:
         while heap:
             dist, sid = heapq.heappop(heap)
             yield sid, dist
+
+    def iter_nearest_batch(self, qs) -> list[Iterator[tuple[int, float]]]:
+        """:meth:`iter_nearest` per query, sharing cached bucket views."""
+        return [self.iter_nearest(q) for q in qs]
 
     def _ring_cells(self, qx: int, qy: int, ring: int):
         if ring == 0:

@@ -53,7 +53,9 @@ def _route_scores(
     """(precision, recall, f, rmf) for one trajectory."""
     truth_set = set(truth)
     recovered_set = set(recovered)
-    length = lambda keys: sum(_edge_length(network, k) for k in keys)
+
+    def length(keys) -> float:
+        return sum(_edge_length(network, k) for k in keys)
     d0 = length(truth_set)
     d_recovered = length(recovered_set)
     d_correct = length(truth_set & recovered_set)

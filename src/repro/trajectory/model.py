@@ -28,8 +28,8 @@ real-world data should be quantized first (see
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
 
 from repro.geo.geometry import BBox, Coord, diameter, path_length, point_distance
 

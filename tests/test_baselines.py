@@ -14,7 +14,6 @@ from repro.baselines.w4m import W4M
 from repro.core.signature import SignatureExtractor
 from repro.datagen.generator import FleetConfig, generate_fleet
 from repro.geo.geometry import point_distance
-from repro.trajectory.distance import _interpolate_at
 from repro.trajectory.model import Point, Trajectory, TrajectoryDataset
 
 

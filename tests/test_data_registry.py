@@ -317,3 +317,155 @@ class TestExperimentRealDataMode:
         )
         assert code == 0
         assert "dataset=fleet" in capsys.readouterr().out
+
+
+class TestArtifactExportImport:
+    """Artifact tarballs: export -> ship -> checksum-verified import."""
+
+    def _ingest(self, planar_csv, root):
+        registry = DatasetRegistry(root)
+        return registry, registry.ingest("fleet", planar_csv)
+
+    def test_round_trip_between_roots(self, planar_csv, tmp_path):
+        source_registry, result = self._ingest(planar_csv, tmp_path / "a")
+        archive = source_registry.export_artifact(
+            "fleet", tmp_path / "fleet.tar.gz"
+        )
+        assert archive.is_file()
+        target_registry = DatasetRegistry(tmp_path / "b")
+        imported = target_registry.import_artifact(archive)
+        assert imported.fresh
+        assert imported.name == "fleet"
+        assert imported.version == result.version
+        assert is_artifact(imported.path)
+        # Data is byte-identical and the latest marker resolves.
+        assert (imported.path / DATA_FILENAME).read_bytes() == (
+            result.path / DATA_FILENAME
+        ).read_bytes()
+        assert target_registry.resolve("fleet") == imported.path
+        # Meta carries provenance plus the verified checksum.
+        meta = json.loads((imported.path / META_FILENAME).read_text())
+        assert meta["sha256"]
+        assert meta["version"] == result.version
+
+    def test_reimport_is_cache_hit(self, planar_csv, tmp_path):
+        source_registry, _ = self._ingest(planar_csv, tmp_path / "a")
+        archive = source_registry.export_artifact(
+            "fleet", tmp_path / "fleet.tar.gz"
+        )
+        target = DatasetRegistry(tmp_path / "b")
+        assert target.import_artifact(archive).fresh
+        assert not target.import_artifact(archive).fresh
+        assert target.import_artifact(archive, force=True).fresh
+
+    def test_tampered_payload_rejected(self, planar_csv, tmp_path):
+        import tarfile
+
+        source_registry, _ = self._ingest(planar_csv, tmp_path / "a")
+        archive = source_registry.export_artifact(
+            "fleet", tmp_path / "fleet.tar.gz"
+        )
+        # Repack with one corrupted data byte, same meta.json.
+        staging = tmp_path / "repack"
+        with tarfile.open(archive) as tar:
+            tar.extractall(staging, filter="data")
+        data = next(staging.glob(f"*/*/{DATA_FILENAME}"))
+        data.write_bytes(data.read_bytes()[:-2] + b"9\n")
+        tampered = tmp_path / "tampered.tar.gz"
+        with tarfile.open(tampered, "w:gz") as tar:
+            tar.add(staging / "fleet", arcname="fleet")
+        with pytest.raises(ValueError, match="checksum mismatch"):
+            DatasetRegistry(tmp_path / "b").import_artifact(tampered)
+
+    def test_export_specific_version_reference(self, planar_csv, tmp_path):
+        registry = DatasetRegistry(tmp_path / "a")
+        first = registry.ingest("fleet", planar_csv)
+        registry.ingest(
+            "fleet", planar_csv, PreprocessConfig(min_points=3)
+        )
+        archive = registry.export_artifact(
+            f"fleet@{first.version}", tmp_path / "v1.tar.gz"
+        )
+        imported = DatasetRegistry(tmp_path / "b").import_artifact(archive)
+        assert imported.version == first.version
+
+    def test_cli_export_import(self, planar_csv, tmp_path, capsys):
+        root_a = tmp_path / "a"
+        root_b = tmp_path / "b"
+        archive = tmp_path / "fleet.tar.gz"
+        assert main([
+            "ingest", "-i", str(planar_csv), "--name", "fleet",
+            "--root", str(root_a),
+        ]) == 0
+        assert main([
+            "ingest", "--name", "fleet", "--export", str(archive),
+            "--root", str(root_a),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "exported fleet" in out
+        assert main([
+            "ingest", "--import", str(archive), "--root", str(root_b),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "imported fleet@" in out
+        assert DatasetRegistry(root_b).load("fleet") is not None
+
+    def test_cli_requires_name_or_archive(self, tmp_path, capsys):
+        assert main(["ingest", "--root", str(tmp_path)]) == 2
+        assert "required" in capsys.readouterr().err
+        assert main([
+            "ingest", "--export", "x.tar.gz", "--root", str(tmp_path),
+        ]) == 2
+        assert main([
+            "ingest", "--export", "x.tar.gz", "--import", "y.tar.gz",
+            "--name", "z", "--root", str(tmp_path),
+        ]) == 2
+
+    def test_malformed_meta_stats_rejected(self, planar_csv, tmp_path):
+        import tarfile
+
+        source_registry, _ = self._ingest(planar_csv, tmp_path / "a")
+        archive = source_registry.export_artifact(
+            "fleet", tmp_path / "fleet.tar.gz"
+        )
+        # Rebuild the archive with stats stripped from meta.json but a
+        # checksum that still matches the payload.
+        staging = tmp_path / "repack"
+        with tarfile.open(archive) as tar:
+            tar.extractall(staging, filter="data")
+        meta_path = next(staging.glob(f"*/*/{META_FILENAME}"))
+        meta = json.loads(meta_path.read_text())
+        del meta["stats"]
+        meta_path.write_text(json.dumps(meta))
+        broken = tmp_path / "broken.tar.gz"
+        with tarfile.open(broken, "w:gz") as tar:
+            tar.add(staging / "fleet", arcname="fleet")
+        with pytest.raises(ValueError, match="ingest stats"):
+            DatasetRegistry(tmp_path / "b").import_artifact(broken)
+
+    def test_traversal_via_meta_name_rejected(self, tmp_path):
+        """meta.json's name/version are attacker data: a crafted value
+        must not place (or delete) anything outside the registry root."""
+        import hashlib
+        import io
+        import tarfile
+
+        payload = b"object_id,t,x,y\na,0.0,1.0,1.0\na,1.0,2.0,2.0\n"
+        meta = {
+            "schema": 1, "name": "../../escaped", "version": "v1",
+            "source": "x", "format": "planar", "origin": None,
+            "preprocess": {}, "stats": {},
+            "sha256": hashlib.sha256(payload).hexdigest(),
+        }
+        archive = tmp_path / "evil.tar.gz"
+        with tarfile.open(archive, "w:gz") as tar:
+            info = tarfile.TarInfo("fleet/v1/data.csv")
+            info.size = len(payload)
+            tar.addfile(info, io.BytesIO(payload))
+            encoded = json.dumps(meta).encode()
+            info = tarfile.TarInfo("fleet/v1/meta.json")
+            info.size = len(encoded)
+            tar.addfile(info, io.BytesIO(encoded))
+        with pytest.raises(ValueError, match="plain path segment"):
+            DatasetRegistry(tmp_path / "root").import_artifact(archive)
+        assert not (tmp_path / "escaped").exists()

@@ -58,8 +58,8 @@ class TestStreamCsvRows:
         streamed = list(stream_csv(path))
         loaded = read_csv(path)
         assert [t.object_id for t in streamed] == [t.object_id for t in loaded]
-        for s, l in zip(streamed, loaded):
-            assert [p.coord for p in s] == [p.coord for p in l]
+        for streamed_t, loaded_t in zip(streamed, loaded):
+            assert [p.coord for p in streamed_t] == [p.coord for p in loaded_t]
 
     def test_bounded_memory_iteration(self):
         # Pulling the first trajectory must consume only its own group

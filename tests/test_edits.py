@@ -165,8 +165,8 @@ class TestDeletion:
 class TestSharedIndex:
     def test_owner_tagging(self):
         index = LinearSegmentIndex()
-        a = editable([(0, 0), (10, 0)], object_id="a", index=index)
-        b = editable([(100, 0), (110, 0)], object_id="b", index=index)
+        editable([(0, 0), (10, 0)], object_id="a", index=index)
+        editable([(100, 0), (110, 0)], object_id="b", index=index)
         assert len(index) == 2
         owners = {index.segment(sid).owner for sid, _ in index.knn((0, 0), 2)}
         assert owners == {"a", "b"}
@@ -174,7 +174,7 @@ class TestSharedIndex:
     def test_detach_removes_only_own_segments(self):
         index = LinearSegmentIndex()
         a = editable([(0, 0), (10, 0), (20, 0)], object_id="a", index=index)
-        b = editable([(100, 0), (110, 0)], object_id="b", index=index)
+        editable([(100, 0), (110, 0)], object_id="b", index=index)
         a.detach()
         assert len(index) == 1
         assert index.knn((0, 0), 5)[0][0] is not None

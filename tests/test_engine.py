@@ -134,12 +134,12 @@ class TestBatchAnonymizer:
 
     def test_report_identical_to_serial(self, fleet):
         reference = GL(epsilon=1.0, signature_size=3, seed=22)
-        reference.anonymize(fleet.dataset)
+        _, expected = reference.anonymize_with_report(fleet.dataset)
         anonymizer = GL(epsilon=1.0, signature_size=3, seed=22)
         engine = BatchAnonymizer(anonymizer, workers=4, executor="thread")
-        engine.anonymize(fleet.dataset)
-        assert engine.last_report is not None
-        assert engine.last_report.to_dict() == reference.last_report.to_dict()
+        _, report = engine.anonymize_with_report(fleet.dataset)
+        assert report is not None
+        assert report.to_dict() == expected.to_dict()
 
     def test_workers_one_matches_serial(self, fleet):
         serial = PureL(epsilon=0.5, signature_size=3, seed=23).anonymize(fleet.dataset)
@@ -184,8 +184,10 @@ class TestBatchAnonymizer:
             GL(epsilon=1.0, signature_size=3, seed=28), workers=2, executor="thread"
         )
         outcomes = engine.anonymize_many([fleet.dataset] * 2)
-        assert engine.last_report is not None
-        assert engine.last_report.to_dict() == outcomes[-1][1].to_dict()
+        with pytest.warns(DeprecationWarning, match="last_report"):
+            refreshed = engine.last_report
+        assert refreshed is not None
+        assert refreshed.to_dict() == outcomes[-1][1].to_dict()
 
     def test_anonymize_many_advances_call_counter(self, fleet):
         """A sweep then a direct call must keep drawing fresh streams."""

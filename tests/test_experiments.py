@@ -11,7 +11,6 @@ from repro.experiments.fig5 import (
     run as run_fig5,
 )
 from repro.experiments.methods import (
-    SYNTHETIC_METHODS,
     build_methods,
     build_our_models,
 )

@@ -50,9 +50,6 @@ class TestGenerateFleet:
                 round(fleet.network.node_coord(home)[1]),
             )
             pf = trajectory.point_frequencies()
-            home_key = max(
-                pf, key=lambda k: pf[k] if k == (float(home_loc[0]), float(home_loc[1])) else 0
-            )
             # Home is visited repeatedly: among top frequencies.
             counts = sorted(pf.values(), reverse=True)
             home_count = pf[(float(home_loc[0]), float(home_loc[1]))]

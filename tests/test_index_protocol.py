@@ -100,7 +100,6 @@ class TestProtocolCompliance:
             assert got == want
 
     def test_knn_after_churn(self, index):
-        rng = random.Random(11)
         fill(index, n=40, seed=7)
         # Remove half of what kNN finds near the centre, twice.
         for _ in range(2):
@@ -116,3 +115,59 @@ class TestProtocolCompliance:
     def test_owner_optional(self, index):
         sid = index.insert((0, 0), (1, 1))
         assert index.segment(sid).owner is None
+
+
+class TestBatchedQueries:
+    """knn_batch / iter_nearest_batch agree with their per-query
+    counterparts on every backend (the wave planner's contract)."""
+
+    def test_knn_batch_matches_knn(self, index):
+        fill(index)
+        queries = [(0.0, 0.0), (500.0, 500.0), (999.0, 999.0), (250.0, 750.0)]
+        assert index.knn_batch(queries, 5) == [
+            index.knn(q, 5) for q in queries
+        ]
+
+    def test_knn_batch_empty(self, index):
+        assert index.knn_batch([(1.0, 2.0)], 3) == [[]]
+        assert index.knn_batch([], 3) == []
+
+    def test_iter_nearest_batch_matches_single(self, index):
+        fill(index)
+        queries = [(0.0, 0.0), (500.0, 500.0), (999.0, 999.0)]
+        expected = [list(index.iter_nearest(q)) for q in queries]
+        got = [list(it) for it in index.iter_nearest_batch(queries)]
+        assert got == expected
+
+    def test_batches_see_mutations_between_calls(self, index):
+        fill(index, n=20)
+        before = index.knn_batch([(500.0, 500.0)], 3)[0]
+        index.remove(before[0][0])
+        after = index.knn_batch([(500.0, 500.0)], 3)[0]
+        assert before[0][0] not in [sid for sid, _ in after]
+        assert after == [index.knn((500.0, 500.0), 3)[i] for i in range(3)]
+
+
+class TestBulkInsert:
+    def test_bulk_insert_matches_loop(self, index):
+        from repro.index.base import bulk_insert
+
+        rng = random.Random(3)
+        pairs = []
+        for _ in range(40):
+            x, y = rng.uniform(-50, 1050), rng.uniform(-50, 1050)
+            pairs.append(
+                ((x, y), (x + rng.uniform(-40, 40), y + rng.uniform(-40, 40)))
+            )
+        sids = bulk_insert(index, pairs, owner="bulk")
+        assert sids == sorted(sids)  # allocation order preserved
+        for sid, (a, b) in zip(sids, pairs):
+            segment = index.segment(sid)
+            assert (segment.a, segment.b, segment.owner) == (a, b, "bulk")
+        # Searches over a bulk-loaded index match the linear reference
+        # (includes out-of-bbox segments routed through overflow).
+        segments = [index.segment(sid) for sid in sids]
+        for q in [(0.0, 0.0), (500.0, 500.0), (1049.0, -49.0)]:
+            got = [round(d, 6) for _, d in index.knn(q, 6)]
+            want = [round(d, 6) for _, d in linear_knn(segments, q, 6)]
+            assert got == want

@@ -6,7 +6,7 @@ from repro.attacks.path_inference import PathInferenceAttack
 from repro.datagen.generator import FleetConfig, generate_fleet
 from repro.datagen.road_network import build_road_network
 from repro.metrics.recovery import score_recovery
-from repro.trajectory.model import Point, Trajectory, TrajectoryDataset
+from repro.trajectory.model import Point, Trajectory
 
 
 @pytest.fixture(scope="module")

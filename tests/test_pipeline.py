@@ -61,9 +61,8 @@ class TestConfiguration:
 class TestAnonymization:
     def test_pureg_changes_tf_only_modestly(self, fleet):
         anonymizer = PureG(epsilon=0.5, signature_size=3, seed=1)
-        result = anonymizer.anonymize(fleet.dataset)
+        result, report = anonymizer.anonymize_with_report(fleet.dataset)
         assert len(result) == len(fleet.dataset)
-        report = anonymizer.last_report
         assert report is not None
         assert report.tf_perturbation is not None
         assert report.local_report is None
@@ -80,8 +79,7 @@ class TestAnonymization:
 
     def test_purel_satisfies_perturbed_pf(self, fleet):
         anonymizer = PureL(epsilon=0.5, signature_size=3, seed=2)
-        result = anonymizer.anonymize(fleet.dataset)
-        report = anonymizer.last_report
+        result, report = anonymizer.anonymize_with_report(fleet.dataset)
         assert report.pf_perturbations is not None
         assert report.global_report is None
         for trajectory in result:
@@ -92,8 +90,7 @@ class TestAnonymization:
 
     def test_gl_runs_both_stages(self, fleet):
         anonymizer = GL(epsilon=1.0, signature_size=3, seed=3)
-        result = anonymizer.anonymize(fleet.dataset)
-        report = anonymizer.last_report
+        result, report = anonymizer.anonymize_with_report(fleet.dataset)
         assert report.global_report is not None
         assert report.local_report is not None
         assert report.utility_loss >= 0.0
@@ -102,8 +99,8 @@ class TestAnonymization:
 
     def test_budget_ledger_matches_stages(self, fleet):
         anonymizer = GL(epsilon=1.0, signature_size=3, seed=4)
-        anonymizer.anonymize(fleet.dataset)
-        ledger = anonymizer.last_report.budget_ledger
+        _, report = anonymizer.anonymize_with_report(fleet.dataset)
+        ledger = report.budget_ledger
         assert len(ledger) == 2
         assert sum(eps for _, eps in ledger) == pytest.approx(1.0)
 
@@ -159,10 +156,10 @@ class TestAnonymization:
             epsilon_global=0.5, epsilon_local=0.5, signature_size=3,
             global_first=False, seed=9,
         )
-        result = lg.anonymize(fleet.dataset)
+        result, report = lg.anonymize_with_report(fleet.dataset)
         assert len(result) == len(fleet.dataset)
-        assert lg.last_report.global_report is not None
-        assert lg.last_report.local_report is not None
+        assert report.global_report is not None
+        assert report.local_report is not None
 
     def test_signature_frequencies_reduced_on_average(self, fleet):
         """The headline behaviour: top signature locations lose occurrences."""
@@ -196,8 +193,8 @@ class TestAnonymization:
         import json
 
         anonymizer = GL(epsilon=1.0, signature_size=3, seed=13)
-        anonymizer.anonymize(fleet.dataset)
-        summary = anonymizer.last_report.to_dict()
+        _, report = anonymizer.anonymize_with_report(fleet.dataset)
+        summary = report.to_dict()
         # Must be valid JSON with the advertised structure.
         encoded = json.dumps(summary)
         decoded = json.loads(encoded)
@@ -233,3 +230,40 @@ class TestAnonymization:
             )
             result = anonymizer.anonymize(small)
             assert len(result) == 5
+
+
+class TestLastReportDeprecation:
+    """The silent alias era is over: reads and writes both warn."""
+
+    def test_read_warns_and_returns_latest_report(self, fleet):
+        anonymizer = PureL(epsilon=0.5, signature_size=3, seed=21)
+        anonymizer.anonymize(fleet.dataset)
+        with pytest.warns(DeprecationWarning, match="last_report is deprecated"):
+            report = anonymizer.last_report
+        assert report is not None
+        assert report.pf_perturbations is not None
+
+    def test_write_warns(self):
+        anonymizer = PureL(epsilon=0.5, signature_size=3, seed=22)
+        with pytest.warns(DeprecationWarning, match="last_report"):
+            anonymizer.last_report = None
+
+    def test_documented_replacement_is_race_free(self, fleet):
+        """anonymize_with_report returns the report with the result —
+        nothing observable is stored on the instance."""
+        anonymizer = PureL(epsilon=0.5, signature_size=3, seed=23)
+        result, report = anonymizer.anonymize_with_report(fleet.dataset)
+        assert len(result) == len(fleet.dataset)
+        assert report.pf_perturbations is not None
+        # The per-call path must not touch the deprecated alias.
+        assert anonymizer._last_report is None
+
+    def test_batch_engine_alias_warns(self, fleet):
+        from repro.engine.batch import BatchAnonymizer
+
+        engine = BatchAnonymizer(
+            PureL(epsilon=0.5, signature_size=3, seed=24), workers=1
+        )
+        engine.anonymize(fleet.dataset)
+        with pytest.warns(DeprecationWarning, match="last_report is deprecated"):
+            assert engine.last_report is not None

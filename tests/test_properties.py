@@ -243,3 +243,61 @@ class TestSignatureWeightProperties:
         assert len(entries) <= m
         weights = [e.weight for e in entries]
         assert weights == sorted(weights, reverse=True)
+
+
+class TestBatchedKnnProperty:
+    """knn_batch must agree with per-query knn on every backend, for
+    arbitrary segment sets and query batches (integer endpoints make
+    exact distance ties frequent)."""
+
+    segments_strategy = st.lists(
+        st.tuples(
+            st.integers(0, 30), st.integers(0, 30),
+            st.integers(0, 30), st.integers(0, 30),
+        ),
+        min_size=1,
+        max_size=40,
+    )
+    queries_strategy = st.lists(
+        st.tuples(st.integers(-5, 35), st.integers(-5, 35)),
+        min_size=1,
+        max_size=6,
+    )
+
+    @staticmethod
+    def build_index(backend):
+        from repro.index.rtree import RTreeIndex
+        from repro.index.uniform import UniformGridIndex
+
+        box = BBox(0.0, 0.0, 30.0, 30.0)
+        return {
+            "linear": lambda: LinearSegmentIndex(),
+            "uniform": lambda: UniformGridIndex(box, granularity=8),
+            "hierarchical": lambda: HierarchicalGridIndex(box, levels=5),
+            "rtree": lambda: RTreeIndex(leaf_capacity=4),
+        }[backend]()
+
+    @pytest.mark.parametrize(
+        "backend", ["linear", "uniform", "hierarchical", "rtree"]
+    )
+    @settings(max_examples=25, deadline=None)
+    @given(segments=segments_strategy, queries=queries_strategy, k=st.integers(1, 8))
+    def test_knn_batch_agrees_with_knn(self, backend, segments, queries, k):
+        index = self.build_index(backend)
+        for ax, ay, bx, by in segments:
+            index.insert((float(ax), float(ay)), (float(bx), float(by)))
+        qs = [(float(x), float(y)) for x, y in queries]
+        assert index.knn_batch(qs, k) == [index.knn(q, k) for q in qs]
+
+    @pytest.mark.parametrize(
+        "backend", ["linear", "uniform", "hierarchical", "rtree"]
+    )
+    @settings(max_examples=15, deadline=None)
+    @given(segments=segments_strategy, queries=queries_strategy)
+    def test_iter_nearest_batch_agrees(self, backend, segments, queries):
+        index = self.build_index(backend)
+        for ax, ay, bx, by in segments:
+            index.insert((float(ax), float(ay)), (float(bx), float(by)))
+        qs = [(float(x), float(y)) for x, y in queries]
+        expected = [list(index.iter_nearest(q)) for q in qs]
+        assert [list(it) for it in index.iter_nearest_batch(qs)] == expected

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.datagen.road_network import RoadNetwork, build_road_network
+from repro.datagen.road_network import build_road_network
 from repro.geo.geometry import point_distance
 
 

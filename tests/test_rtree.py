@@ -76,7 +76,8 @@ class TestKnnCorrectness:
 
     def test_knn_with_tombstones(self):
         index = RTreeIndex(leaf_capacity=4)
-        sids = [index.insert(a, b) for a, b in random_segments(100, seed=4)]
+        for a, b in random_segments(100, seed=4):
+            index.insert(a, b)
         # Remove the 10 nearest to the probe (some in-tree, some buffered).
         q = (500.0, 500.0)
         for sid, _ in index.knn(q, 10):

@@ -4,7 +4,7 @@ import pytest
 
 from repro.datagen.generator import FleetConfig, generate_fleet
 from repro.geo.geometry import BBox
-from repro.trajectory.model import Point, Trajectory, TrajectoryDataset
+from repro.trajectory.model import Point, Trajectory
 from repro.viz.svg import PALETTE, SvgCanvas, render_comparison, render_fleet
 
 
