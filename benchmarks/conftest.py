@@ -64,6 +64,14 @@ def pytest_sessionfinish(session, exitstatus):
         speedups["wave_over_incremental"] = incremental / wave
     if restart and wave:
         speedups["wave_over_restart"] = restart / wave
+    publisher = _RECORDS.get("stream_publisher", {})
+    per_chunk = publisher.get("per_chunk_s")
+    shared = publisher.get("shared_tf_s")
+    if per_chunk and shared:
+        # >1 means whole-dataset publishing is cheaper than the
+        # independent per-chunk stream it replaces (it usually costs a
+        # little more: the extra pass buys the shared target + ledger).
+        speedups["publish_shared_tf_over_per_chunk"] = per_chunk / shared
     payload = {
         "bench": "engine",
         "python": platform.python_version(),

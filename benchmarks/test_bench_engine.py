@@ -27,10 +27,11 @@ import pytest
 
 from repro.core.global_mechanism import GlobalTFMechanism
 from repro.core.modification import InterTrajectoryModifier, make_index_factory
-from repro.core.pipeline import PureL
+from repro.core.pipeline import GL, PureL
 from repro.core.signature import SignatureExtractor
+from repro.data.stream import chunked
 from repro.datagen.generator import FleetConfig, generate_fleet
-from repro.engine import BatchAnonymizer
+from repro.engine import BatchAnonymizer, StreamPublisher
 
 PAPER_SCALE = os.environ.get("REPRO_BENCH_SCALE", "").lower() == "paper"
 N_OBJECTS, N_POINTS, SIGNATURE_SIZE = (
@@ -205,6 +206,64 @@ def test_bench_local_stage_batch(benchmark, bench_records, engine_fleet):
         rounds=1,
         iterations=1,
     )
+
+
+def _timed_publish(bench_records, key, fn):
+    started = time.perf_counter()
+    result = fn()
+    seconds = time.perf_counter() - started
+    records = bench_records.setdefault("stream_publisher", {})
+    records[key] = min(records.get(key, float("inf")), seconds)
+    return result
+
+
+def _bench_chunk_size():
+    return max(1, N_OBJECTS // 4)
+
+
+def test_bench_publish_per_chunk(benchmark, bench_records, engine_fleet):
+    """Baseline: k independent per-chunk releases (anonymize_stream)."""
+
+    def run_stream():
+        engine = BatchAnonymizer(
+            GL(epsilon=1.0, signature_size=SIGNATURE_SIZE, seed=7), workers=1
+        )
+        return sum(
+            len(result)
+            for result, _ in engine.anonymize_stream(
+                chunked(iter(engine_fleet.dataset), _bench_chunk_size())
+            )
+        )
+
+    published = benchmark.pedantic(
+        lambda: _timed_publish(bench_records, "per_chunk_s", run_stream),
+        rounds=1,
+        iterations=1,
+    )
+    assert published == N_OBJECTS
+
+
+def test_bench_publish_shared_tf(benchmark, bench_records, engine_fleet):
+    """The two-pass whole-dataset publisher on the same chunking."""
+    bench_records.setdefault("stream_publisher", {})["chunks"] = -(
+        -N_OBJECTS // _bench_chunk_size()
+    )
+
+    def run_publish():
+        publisher = StreamPublisher(
+            GL(epsilon=1.0, signature_size=SIGNATURE_SIZE, seed=7)
+        )
+        return publisher.publish(
+            lambda: chunked(iter(engine_fleet.dataset), _bench_chunk_size())
+        )
+
+    report = benchmark.pedantic(
+        lambda: _timed_publish(bench_records, "shared_tf_s", run_publish),
+        rounds=1,
+        iterations=1,
+    )
+    assert report.trajectories == N_OBJECTS
+    assert report.epsilon_total == 1.0
 
 
 def test_batch_output_identical_to_serial(engine_fleet):

@@ -12,7 +12,7 @@ from repro.trajectory.model import Point, Trajectory, TrajectoryDataset
 from repro.datagen.generator import FleetConfig, FleetResult, generate_fleet
 from repro.datagen.road_network import RoadNetwork, build_road_network
 from repro.core.pipeline import GL, FrequencyAnonymizer, PureG, PureL
-from repro.api import MethodSpec, RunResult, run
+from repro.api import MethodSpec, RunResult, publish, run
 
 __all__ = [
     "FleetConfig",
@@ -29,6 +29,7 @@ __all__ = [
     "TrajectoryDataset",
     "build_road_network",
     "generate_fleet",
+    "publish",
     "run",
 ]
 

@@ -15,7 +15,11 @@ Three pieces:
 * :func:`run` (:mod:`repro.api.session`) — execute a spec against a
   dataset on the serial or batch engine and get a :class:`RunResult`
   (output dataset + report + spec + timing) back in one value, with
-  no shared mutable state.
+  no shared mutable state;
+* :func:`publish` / :func:`split_spec` — the streaming whole-dataset
+  publisher: one ε-DP release over a chunked stream via
+  :class:`repro.engine.publish.StreamPublisher`, with the ε_G/ε_L
+  budget split carried declaratively in the spec's params.
 
 The CLI (``repro anonymize --method``, ``repro methods``) and the
 experiment drivers are thin layers over exactly these calls.
@@ -31,7 +35,14 @@ from repro.api.registry import (
     method_names,
     register,
 )
-from repro.api.session import ENGINE_KINDS, RunResult, as_spec, run
+from repro.api.session import (
+    ENGINE_KINDS,
+    RunResult,
+    as_spec,
+    publish,
+    run,
+    split_spec,
+)
 
 __all__ = [
     "ENGINE_KINDS",
@@ -46,6 +57,8 @@ __all__ = [
     "canonical_json",
     "method_info",
     "method_names",
+    "publish",
     "register",
     "run",
+    "split_spec",
 ]

@@ -14,9 +14,10 @@ alias on the pipeline classes).
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
-from typing import Any, Mapping
+from typing import Any, Callable, Mapping
 
 from repro.api.registry import build, method_info
 from repro.api.spec import MethodSpec
@@ -122,9 +123,13 @@ def run(
             shards_per_worker=shards_per_worker,
             global_workers=global_workers,
         )
-        started = time.perf_counter()
-        dataset, report = front.anonymize_with_report(data)
-        seconds = time.perf_counter() - started
+        # The engine's wave-planning pool is persistent by design;
+        # this engine lives for one call, so tear it down on the way
+        # out rather than leaving threads to GC timing.
+        with front:
+            started = time.perf_counter()
+            dataset, report = front.anonymize_with_report(data)
+            seconds = time.perf_counter() - started
     elif isinstance(anonymizer, FrequencyAnonymizer):
         started = time.perf_counter()
         dataset, report = anonymizer.anonymize_with_report(data)
@@ -137,3 +142,89 @@ def run(
     return RunResult(
         dataset=dataset, report=report, spec=spec, seconds=seconds, engine=engine
     )
+
+
+def split_spec(
+    spec: MethodSpec | str | Mapping[str, Any], split: float
+) -> MethodSpec:
+    """Re-split a frequency-family spec's total ε between the stages.
+
+    ``split`` is the fraction of the total budget spent on the global
+    TF mechanism (the streaming publisher's pass-1 estimate); the rest
+    funds the local PF mechanism.  The result is a canonical
+    ``"frequency"``-kind spec whose ``epsilon_global``/``epsilon_local``
+    params *carry the split* — the declarative form every report and
+    ledger records.  ``split=1.0`` disables the local stage,
+    ``split=0.0`` the global one.
+    """
+    if not 0.0 <= split <= 1.0:
+        raise ValueError(f"split must be in [0, 1], got {split}")
+    anonymizer = build(as_spec(spec))
+    if not isinstance(anonymizer, FrequencyAnonymizer):
+        raise ValueError(
+            "split applies to frequency-family methods only"
+        )
+    epsilon = anonymizer.epsilon
+    params = anonymizer.config()
+    params["epsilon_global"] = epsilon * split or None
+    params["epsilon_local"] = epsilon * (1.0 - split) or None
+    return MethodSpec("frequency", params)
+
+
+def publish(
+    spec: MethodSpec | str | Mapping[str, Any],
+    source: str | os.PathLike | Callable[[], Any],
+    *,
+    chunk_size: int = 500,
+    split: float | None = None,
+    engine: str = "serial",
+    workers: int | None = None,
+    executor: str = "process",
+    shards_per_worker: int = 4,
+    global_workers: int | None = 1,
+    sink: Callable | None = None,
+):
+    """Publish a chunked dataset as **one** ε-DP release; return the
+    merged :class:`~repro.engine.publish.PublishReport`.
+
+    ``source`` is a dataset reference (CSV path, artifact directory,
+    or registry name — chunked into ``chunk_size`` trajectories) or a
+    re-iterable chunk factory (``() -> Iterable[TrajectoryDataset]``).
+    The method must be frequency-family; its ε_G/ε_L *are* the budget
+    split between the shared pass-1 TF estimate and the parallel
+    per-chunk local randomization (``split`` re-splits the spec's
+    total ε first — see :func:`split_spec`).  ``engine="batch"``
+    shards each chunk's local stage across a worker pool, output
+    byte-identical to serial for the same seed.  ``sink(chunk,
+    report)`` receives each anonymized chunk as soon as it is ready.
+    """
+    spec = as_spec(spec)
+    if engine not in ENGINE_KINDS:
+        raise ValueError(
+            f"unknown engine {engine!r}; choose from {ENGINE_KINDS}"
+        )
+    if split is not None:
+        spec = split_spec(spec, split)
+    anonymizer = build(spec)
+    if not isinstance(anonymizer, FrequencyAnonymizer):
+        info = method_info(spec.kind)
+        raise ValueError(
+            f"publish requires a frequency-family method; "
+            f"{spec.kind!r} is family {info.family!r}"
+        )
+    # Lazy so `import repro.api` stays light.
+    from repro.engine.batch import BatchAnonymizer
+    from repro.engine.publish import StreamPublisher, chunk_source
+
+    chunks = source if callable(source) else chunk_source(source, chunk_size)
+    if engine == "batch":
+        front = BatchAnonymizer(
+            anonymizer,
+            workers=workers,
+            executor=executor,
+            shards_per_worker=shards_per_worker,
+            global_workers=global_workers,
+        )
+        with front:
+            return StreamPublisher(front).publish(chunks, sink=sink)
+    return StreamPublisher(anonymizer).publish(chunks, sink=sink)

@@ -6,6 +6,7 @@ Subcommands::
     repro ingest     preprocess a raw dataset into a cached artifact
     repro methods    list every registered anonymization method
     repro anonymize  apply any registered method to a dataset
+    repro publish    publish a chunked dataset as one ε-DP release
     repro attack     run the linkage attack between two datasets
     repro evaluate   compute utility metrics between two datasets
     repro experiment regenerate a table/figure of the paper
@@ -49,6 +50,76 @@ from repro.data.registry import DatasetRegistry, load_dataset
 from repro.trajectory.io import write_csv
 
 MODELS = ("gl", "pureg", "purel")
+
+
+def _add_method_args(parser: argparse.ArgumentParser) -> None:
+    """The shared method-selection flags of ``anonymize``/``publish``.
+
+    One definition so the two subcommands (both feeding
+    :func:`_build_spec`) can never drift apart.
+    """
+    parser.add_argument("--model", choices=MODELS, default="gl")
+    parser.add_argument(
+        "--method",
+        default=None,
+        metavar="NAME",
+        help="any registered method kind (see `repro methods`); "
+        "overrides --model",
+    )
+    parser.add_argument(
+        "--param",
+        action="append",
+        default=None,
+        metavar="NAME=VALUE",
+        help="extra method parameter (repeatable); values are parsed "
+        "as JSON, falling back to plain strings",
+    )
+    parser.add_argument("--epsilon", type=float, default=1.0)
+    parser.add_argument("--signature-size", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument(
+        "--index",
+        choices=("linear", "uniform", "hierarchical"),
+        default="hierarchical",
+    )
+    parser.add_argument(
+        "--strategy",
+        choices=("top_down", "bottom_up", "bottom_up_down"),
+        default="bottom_up_down",
+    )
+
+
+def _add_engine_args(parser: argparse.ArgumentParser) -> None:
+    """The shared batch-engine flags of ``anonymize``/``publish``."""
+    parser.add_argument(
+        "--engine",
+        choices=("serial", "batch"),
+        default="serial",
+        help="'batch' shards the local stage across a worker pool "
+        "(output is byte-identical to serial for the same seed)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="pool size for --engine batch; 0 = one per CPU core",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=("process", "thread", "serial"),
+        default="process",
+        help="worker pool kind for --engine batch",
+    )
+    parser.add_argument(
+        "--global-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="thread-pool size for the global stage's wave planning "
+        "with --engine batch; 0 = one per CPU core, 1 = in-process "
+        "(output is byte-identical for any value)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -156,64 +227,44 @@ def _build_parser() -> argparse.ArgumentParser:
         help="planar CSV, artifact directory, or ingested dataset name",
     )
     anonymize.add_argument("-o", "--output", required=True)
-    anonymize.add_argument("--model", choices=MODELS, default="gl")
-    anonymize.add_argument(
-        "--method",
+    _add_method_args(anonymize)
+    _add_engine_args(anonymize)
+
+    publish = sub.add_parser(
+        "publish",
+        help="publish a chunked dataset as one ε-DP release (shared "
+        "TF estimate + composition ledger)",
+    )
+    publish.add_argument(
+        "-i", "--input", required=True,
+        help="planar CSV, artifact directory, or ingested dataset name",
+    )
+    publish.add_argument(
+        "-o", "--output", required=True,
+        help="merged anonymized CSV (written chunk by chunk)",
+    )
+    publish.add_argument(
+        "--report",
         default=None,
-        metavar="NAME",
-        help="any registered method kind (see `repro methods`); "
-        "overrides --model",
+        metavar="JSON",
+        help="merged publish report with the composition ledger "
+        "(default: <output>.report.json)",
     )
-    anonymize.add_argument(
-        "--param",
-        action="append",
+    publish.add_argument(
+        "--chunk-size", type=int, default=500, metavar="N",
+        help="trajectories per chunk (bounds peak memory)",
+    )
+    publish.add_argument(
+        "--split",
+        type=float,
         default=None,
-        metavar="NAME=VALUE",
-        help="extra method parameter (repeatable); values are parsed "
-        "as JSON, falling back to plain strings",
+        metavar="FRACTION",
+        help="fraction of ε spent on the shared TF estimate (pass 1); "
+        "the rest funds the per-chunk local stage (default: the "
+        "method's own split)",
     )
-    anonymize.add_argument("--epsilon", type=float, default=1.0)
-    anonymize.add_argument("--signature-size", type=int, default=10)
-    anonymize.add_argument("--seed", type=int, default=None)
-    anonymize.add_argument(
-        "--index",
-        choices=("linear", "uniform", "hierarchical"),
-        default="hierarchical",
-    )
-    anonymize.add_argument(
-        "--strategy",
-        choices=("top_down", "bottom_up", "bottom_up_down"),
-        default="bottom_up_down",
-    )
-    anonymize.add_argument(
-        "--engine",
-        choices=("serial", "batch"),
-        default="serial",
-        help="'batch' shards the local stage across a worker pool "
-        "(output is byte-identical to serial for the same seed)",
-    )
-    anonymize.add_argument(
-        "--workers",
-        type=int,
-        default=0,
-        metavar="N",
-        help="pool size for --engine batch; 0 = one per CPU core",
-    )
-    anonymize.add_argument(
-        "--executor",
-        choices=("process", "thread", "serial"),
-        default="process",
-        help="worker pool kind for --engine batch",
-    )
-    anonymize.add_argument(
-        "--global-workers",
-        type=int,
-        default=1,
-        metavar="N",
-        help="thread-pool size for the global stage's wave planning "
-        "with --engine batch; 0 = one per CPU core, 1 = in-process "
-        "(output is byte-identical for any value)",
-    )
+    _add_method_args(publish)
+    _add_engine_args(publish)
 
     attack = sub.add_parser("attack", help="linkage attack between datasets")
     attack.add_argument("-i", "--original", required=True)
@@ -226,9 +277,19 @@ def _build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("-a", "--anonymized", required=True)
 
     experiment = sub.add_parser("experiment", help="regenerate a paper artifact")
-    experiment.add_argument("target", choices=("table2", "fig4", "fig5"))
+    experiment.add_argument(
+        "target", choices=("table2", "fig4", "fig5", "publish")
+    )
     experiment.add_argument(
         "--preset", choices=("smoke", "default", "large"), default="default"
+    )
+    experiment.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="chunk size for the publish experiment (default: quarter "
+        "of the dataset)",
     )
     experiment.add_argument(
         "--workers",
@@ -433,6 +494,80 @@ def _cmd_anonymize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_publish(args: argparse.Namespace) -> int:
+    import csv
+    import os
+
+    from repro.api import publish as api_publish
+    from repro.trajectory.io import CSV_HEADER, write_csv_rows
+
+    try:
+        spec = _build_spec(args)
+    except (ValueError, TypeError) as exc:
+        print(f"repro publish: {exc}", file=sys.stderr)
+        return 2
+    report_path = args.report or f"{args.output}.report.json"
+    # Stream chunks into a staging file and move it into place only
+    # after the publish succeeds, so a rejected invocation (wrong
+    # method family, bad --split, drifting source) never clobbers a
+    # previous good output with a partial one.
+    staging = f"{args.output}.tmp"
+    try:
+        with open(staging, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(CSV_HEADER)
+            report = api_publish(
+                spec,
+                args.input,
+                chunk_size=args.chunk_size,
+                split=args.split,
+                engine=args.engine,
+                workers=args.workers,
+                executor=args.executor,
+                global_workers=args.global_workers,
+                sink=lambda chunk, _report: write_csv_rows(writer, chunk),
+            )
+        # Report first, output last: if the report cannot be written
+        # there is no release on disk claiming an audit trail it does
+        # not have, and the previous output stays untouched.
+        with open(report_path, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+            handle.write("\n")
+        os.replace(staging, args.output)
+    except (ValueError, TypeError, KeyError, OSError) as exc:
+        message = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
+        print(f"repro publish: {message}", file=sys.stderr)
+        return 2
+    finally:
+        # Never leave the staging file behind — not on clean rejects
+        # above, not on unexpected errors surfacing as tracebacks.
+        try:
+            os.unlink(staging)
+        except OSError:
+            pass
+    print(
+        f"published {report.trajectories} trajectories in "
+        f"{report.chunk_count} chunk(s) with {spec.kind.upper()} "
+        f"(end-to-end eps = {report.epsilon_total:g}) -> {args.output}"
+    )
+    # Sequential draws print individually; parallel groups collapse to
+    # one line each (their max is what composes, and a chunked publish
+    # would otherwise print one line per chunk).
+    for draw in report.accounting.sequential_draws():
+        print(
+            f"  ledger: {draw.epsilon:g} on {draw.label} "
+            f"[{draw.scope}, sequential]"
+        )
+    for group, draws in report.accounting.groups().items():
+        print(
+            f"  ledger: {max(d.epsilon for d in draws):g} on {group} "
+            f"[parallel over {len(draws)} chunk(s)]"
+        )
+    print(f"  utility loss: {report.utility_loss / 1000.0:.2f} km")
+    print(f"  report: {report_path} ({report.seconds:.2f}s)")
+    return 0
+
+
 def _cmd_attack(args: argparse.Namespace) -> int:
     original = load_dataset(args.original)
     anonymized = load_dataset(args.anonymized)
@@ -461,11 +596,15 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         from repro.experiments.table2 import main as experiment_main
     elif args.target == "fig4":
         from repro.experiments.fig4 import main as experiment_main
+    elif args.target == "publish":
+        from repro.experiments.publish import main as experiment_main
     else:
         from repro.experiments.fig5 import main as experiment_main
     argv = [args.preset, str(args.workers)]
     if args.dataset:
         argv.extend(["--dataset", args.dataset])
+    if args.target == "publish" and args.chunk_size is not None:
+        argv.extend(["--chunk-size", str(args.chunk_size)])
     experiment_main(argv)
     return 0
 
@@ -477,6 +616,7 @@ def main(argv: list[str] | None = None) -> int:
         "ingest": _cmd_ingest,
         "methods": _cmd_methods,
         "anonymize": _cmd_anonymize,
+        "publish": _cmd_publish,
         "attack": _cmd_attack,
         "evaluate": _cmd_evaluate,
         "experiment": _cmd_experiment,

@@ -21,6 +21,7 @@ import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
+from repro.core.accounting import WHOLE_DATASET, CompositionLedger
 from repro.core.global_mechanism import GlobalTFMechanism, TFPerturbation
 from repro.core.laplace import PrivacyAccountant
 from repro.core.local_mechanism import LocalPFMechanism, PFPerturbation
@@ -74,6 +75,17 @@ class AnonymizationReport:
 
     epsilon_total: float
     budget_ledger: list[tuple[str, float]] = field(default_factory=list)
+    #: Composition accounting of *this call's own* mechanism draws:
+    #: which mechanism spent what over which slice of the data.  For a
+    #: plain run both entries are sequential draws over the whole
+    #: dataset and the ledger composes to :attr:`epsilon_total`.  Under
+    #: the streaming publisher the local draw is scoped to the chunk
+    #: and the shared TF draw is recorded once at publisher level, so
+    #: a chunk's ledger deliberately composes to *less* than
+    #: :attr:`epsilon_total` — the latter keeps stating the end-to-end
+    #: guarantee of the published output (the shared draw covers this
+    #: chunk too); the publisher's merged ledger is the full story.
+    accounting: CompositionLedger | None = None
     global_report: ModificationReport | None = None
     local_report: ModificationReport | None = None
     tf_perturbation: TFPerturbation | None = None
@@ -115,6 +127,9 @@ class AnonymizationReport:
                 {"mechanism": label, "epsilon": epsilon}
                 for label, epsilon in self.budget_ledger
             ],
+            "accounting": (
+                None if self.accounting is None else self.accounting.to_dict()
+            ),
             "global": modification(self.global_report),
             "local": modification(self.local_report),
             "utility_loss_m": self.utility_loss,
@@ -137,8 +152,11 @@ class FrequencyAnonymizer:
     Parameters
     ----------
     epsilon_global, epsilon_local:
-        Privacy budgets of the two mechanisms. Pass ``None`` (or 0) to
-        disable a mechanism; at least one must be enabled.
+        Privacy budgets of the two mechanisms. Pass ``None`` to disable
+        a mechanism; at least one must be enabled. An explicit ``0.0``
+        is rejected — a zero budget is not a valid ε and must not be
+        silently conflated with "stage disabled" (the ledger records
+        what was actually configured).
     signature_size:
         ``m`` — how many signature locations are extracted per
         trajectory. The local mechanism perturbs ``2m`` locations.
@@ -182,15 +200,23 @@ class FrequencyAnonymizer:
             ("epsilon_global", epsilon_global),
             ("epsilon_local", epsilon_local),
         ):
-            if value is not None and (math.isnan(value) or value < 0):
+            if value is None:
+                continue
+            if math.isnan(value) or value < 0:
                 raise ValueError(
                     f"{name} must be a non-negative privacy budget, got "
                     f"{value!r}"
                 )
-        if not epsilon_global and not epsilon_local:
+            if value == 0.0:
+                raise ValueError(
+                    f"{name}=0 is an explicit zero budget, which a Laplace "
+                    f"mechanism cannot honour; pass {name}=None to disable "
+                    f"the stage instead"
+                )
+        if epsilon_global is None and epsilon_local is None:
             raise ValueError("at least one of the two mechanisms must be enabled")
-        self.epsilon_global = epsilon_global or 0.0
-        self.epsilon_local = epsilon_local or 0.0
+        self.epsilon_global = 0.0 if epsilon_global is None else float(epsilon_global)
+        self.epsilon_local = 0.0 if epsilon_local is None else float(epsilon_local)
         self.signature_size = signature_size
         self.index_backend = index_backend
         self.search_strategy = search_strategy
@@ -304,6 +330,19 @@ class FrequencyAnonymizer:
             self._call_count = index + 1
             return index
 
+    def base_seed_for(self, call_index: int) -> int:
+        """The noise base of call ``call_index`` on this instance.
+
+        The one definition of the per-call seed derivation, shared by
+        :meth:`anonymize_with_report` and external drivers that must
+        replay it bit-exactly (the streaming publisher derives the
+        base all chunks of one publish share from here — drift here
+        is drift in the byte-identity contract).
+        """
+        if self.seed is None:
+            return random.getrandbits(64)
+        return derive_seed("run", self.seed, call_index)
+
     def anonymize(self, dataset: TrajectoryDataset) -> TrajectoryDataset:
         """Produce the ε-differentially-private dataset D*.
 
@@ -321,6 +360,9 @@ class FrequencyAnonymizer:
         local_runner: LocalRunner | None = None,
         call_index: int | None = None,
         wave_map: Callable | None = None,
+        tf_target: TFPerturbation | None = None,
+        base_seed: int | None = None,
+        scope: str = WHOLE_DATASET,
     ) -> tuple[TrajectoryDataset, AnonymizationReport]:
         """Produce D* and its :class:`AnonymizationReport` together.
 
@@ -345,26 +387,51 @@ class FrequencyAnonymizer:
         ``wave_map`` fans the global stage's read-only wave-planning
         simulations over a pool (the batch engine's ``global_workers``
         hook; only meaningful with ``candidate_source="wave"``).
+
+        ``tf_target`` injects an externally-drawn TF perturbation: the
+        global stage then *realises* the given target on this dataset
+        (pure modification, no fresh mechanism draw and no ε spend
+        here — the draw is accounted for by whoever produced the
+        target, e.g. :class:`repro.engine.publish.StreamPublisher`'s
+        shared whole-dataset estimate).  ``base_seed`` pins the noise
+        base directly (all chunks of one published stream share one
+        base; per-trajectory streams stay disjoint because they are
+        keyed by object id), and ``scope`` names the slice of the data
+        this call covers in the report's composition ledger.
         """
-        if call_index is None:
-            call_index = self.reserve_call_index()
-        if self.seed is None:
-            base_seed = random.getrandbits(64)
-        else:
-            base_seed = derive_seed("run", self.seed, call_index)
+        if base_seed is None:
+            if call_index is None:
+                call_index = self.reserve_call_index()
+            base_seed = self.base_seed_for(call_index)
         accountant = PrivacyAccountant(self.epsilon)
-        report = AnonymizationReport(epsilon_total=self.epsilon, spec=self.spec())
+        ledger = CompositionLedger()
+        report = AnonymizationReport(
+            epsilon_total=self.epsilon, accounting=ledger, spec=self.spec()
+        )
 
         stages = ["global", "local"] if self.global_first else ["local", "global"]
         current = dataset
         for stage in stages:
-            if stage == "global" and self._global is not None:
+            if stage == "global" and (
+                self._global is not None or tf_target is not None
+            ):
                 current = self._run_global(
-                    current, base_seed, accountant, report, wave_map
+                    current,
+                    base_seed,
+                    accountant,
+                    report,
+                    wave_map,
+                    tf_target=tf_target,
+                    scope=scope,
                 )
             elif stage == "local" and self._local is not None:
                 current = self._run_local(
-                    current, base_seed, accountant, report, local_runner
+                    current,
+                    base_seed,
+                    accountant,
+                    report,
+                    local_runner,
+                    scope=scope,
                 )
 
         report.budget_ledger = accountant.ledger()
@@ -377,14 +444,26 @@ class FrequencyAnonymizer:
         accountant: PrivacyAccountant,
         report: AnonymizationReport,
         wave_map: Callable | None = None,
+        tf_target: TFPerturbation | None = None,
+        scope: str = WHOLE_DATASET,
     ) -> TrajectoryDataset:
-        accountant.spend("global TF randomization", self.epsilon_global)
-        signature_index = self.extractor.extract(dataset)
-        assert self._global is not None
-        rng = random.Random(derive_seed(base_seed, "global"))
-        perturbation = self._global.perturb(
-            signature_index.tf, len(dataset), rng
-        )
+        if tf_target is not None:
+            # Realising an injected target is modification only: the
+            # mechanism draw behind it was made (and accounted for)
+            # upstream, so this call spends nothing here.
+            perturbation = tf_target
+        else:
+            accountant.spend("global TF randomization", self.epsilon_global)
+            if report.accounting is not None:
+                report.accounting.record(
+                    "global TF randomization", self.epsilon_global, scope=scope
+                )
+            signature_index = self.extractor.extract(dataset)
+            assert self._global is not None
+            rng = random.Random(derive_seed(base_seed, "global"))
+            perturbation = self._global.perturb(
+                signature_index.tf, len(dataset), rng
+            )
         modified, modification = self._inter.apply(
             dataset, perturbation, wave_map=wave_map
         )
@@ -399,8 +478,13 @@ class FrequencyAnonymizer:
         accountant: PrivacyAccountant,
         report: AnonymizationReport,
         local_runner: LocalRunner | None = None,
+        scope: str = WHOLE_DATASET,
     ) -> TrajectoryDataset:
         accountant.spend("local PF randomization", self.epsilon_local)
+        if report.accounting is not None:
+            report.accounting.record(
+                "local PF randomization", self.epsilon_local, scope=scope
+            )
         signature_index = self.extractor.extract(dataset)
         runner = local_runner or self._run_local_serial
         results = runner(dataset, signature_index, base_seed)

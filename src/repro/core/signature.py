@@ -91,9 +91,17 @@ class SignatureExtractor:
             for loc, weight in ranked[: self.m]
         ]
 
-    def extract(self, dataset: TrajectoryDataset) -> SignatureIndex:
-        """Signatures for every trajectory plus the candidate set P."""
-        tf = dataset.trajectory_frequencies()
+    def extract(
+        self, dataset: TrajectoryDataset, tf: Counter | None = None
+    ) -> SignatureIndex:
+        """Signatures for every trajectory plus the candidate set P.
+
+        ``tf`` accepts a precomputed ``dataset.trajectory_frequencies()``
+        so callers that already scanned the dataset (the streaming
+        publisher's estimate pass) don't pay for a second full scan.
+        """
+        if tf is None:
+            tf = dataset.trajectory_frequencies()
         n = len(dataset)
         signatures: dict[str, list[SignatureEntry]] = {}
         candidate_set: set[LocationKey] = set()

@@ -40,7 +40,12 @@ from typing import Iterator
 
 from repro.data.preprocess import IngestStats, PreprocessConfig, preprocess_stream
 from repro.data.stream import detect_format, scan_origin, stream_trajectories
-from repro.trajectory.io import CSV_HEADER, read_tdrive_directory, stream_csv
+from repro.trajectory.io import (
+    CSV_HEADER,
+    read_tdrive_directory,
+    stream_csv,
+    write_csv_rows,
+)
 from repro.trajectory.model import Trajectory, TrajectoryDataset
 
 ARTIFACT_SCHEMA_VERSION = 1
@@ -169,16 +174,7 @@ class DatasetRegistry:
             with (staging / DATA_FILENAME).open("w", newline="") as handle:
                 writer = csv.writer(handle)
                 writer.writerow(CSV_HEADER)
-                for trajectory in stream:
-                    for point in trajectory:
-                        writer.writerow(
-                            [
-                                trajectory.object_id,
-                                f"{point.t:.3f}",
-                                f"{point.x:.3f}",
-                                f"{point.y:.3f}",
-                            ]
-                        )
+                write_csv_rows(writer, stream)
             meta = {
                 "schema": ARTIFACT_SCHEMA_VERSION,
                 "name": name,
@@ -202,7 +198,16 @@ class DatasetRegistry:
         return IngestResult(name, config.key(), target, stats, fresh=True)
 
     def resolve(self, name: str, version: str | None = None) -> Path:
-        """Artifact directory for a registered name (latest by default)."""
+        """Artifact directory for a registered name (latest by default).
+
+        The recorded ``latest`` pointer file is authoritative: when it
+        names an installed version, that version is returned even if
+        directory mtimes disagree (mtimes are rewritten by backups,
+        copies, and imports — the pointer records the actual last
+        ingest/import).  A *dangling* pointer (its version was deleted)
+        is repaired in place to the newest remaining version rather
+        than silently shadowing every future resolution.
+        """
         base = self.root / name
         if version is not None:
             target = base / version
@@ -217,6 +222,13 @@ class DatasetRegistry:
         versions = self.versions(name)
         if not versions:
             raise KeyError(f"no ingested dataset named {name!r} under {self.root}")
+        # No pointer (pre-pointer registry) or a dangling one: repair
+        # it so the registry is self-consistent from here on. Best
+        # effort — a read-only registry root must still resolve.
+        try:
+            marker.write_text(versions[-1])
+        except OSError:
+            pass
         return base / versions[-1]
 
     def meta(self, name: str, version: str | None = None) -> dict:
@@ -337,6 +349,20 @@ class DatasetRegistry:
                     f"stats ({exc}) — not an exported artifact"
                 ) from exc
             if is_artifact(target) and not force:
+                # Cache hit installs nothing, but a missing or dangling
+                # latest pointer left behind (e.g. by a deleted
+                # version) is still repaired so the import leaves the
+                # registry resolvable. Best effort, like resolve():
+                # a read-only root must keep serving cache hits.
+                marker = target.parent / LATEST_FILENAME
+                if not (
+                    marker.is_file()
+                    and is_artifact(target.parent / marker.read_text().strip())
+                ):
+                    try:
+                        marker.write_text(version)
+                    except OSError:
+                        pass
                 return IngestResult(name, version, target, stats, fresh=False)
             target.parent.mkdir(parents=True, exist_ok=True)
             if target.exists():

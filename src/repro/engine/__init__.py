@@ -12,7 +12,12 @@ Two pieces built for the "as fast as the hardware allows" roadmap:
   return value (``anonymize_with_report`` / the ``(dataset, report)``
   pairs of ``anonymize_stream``), never through shared mutable state;
 * :func:`parallel_map` — the deterministic order-preserving pool
-  primitive the experiment drivers reuse for their sweeps.
+  primitive the experiment drivers reuse for their sweeps;
+* :class:`StreamPublisher` (:mod:`repro.engine.publish`) — the
+  two-pass whole-dataset publisher: one shared noisy TF estimate over
+  the entire chunked stream, then per-chunk realisation against
+  apportioned targets, with a DP composition ledger
+  (:mod:`repro.core.accounting`) recording the end-to-end ε.
 
 The other engine half — the incremental ``iter_nearest`` kNN frontier
 that removes the global stage's restart-scans — lives on the index
@@ -27,10 +32,20 @@ from repro.engine.pool import (
     parallel_map_stream,
     resolve_workers,
 )
+from repro.engine.publish import (
+    PublishReport,
+    SharedTFEstimate,
+    StreamPublisher,
+    chunk_source,
+)
 
 __all__ = [
     "BatchAnonymizer",
     "EXECUTOR_KINDS",
+    "PublishReport",
+    "SharedTFEstimate",
+    "StreamPublisher",
+    "chunk_source",
     "parallel_map",
     "parallel_map_stream",
     "resolve_workers",

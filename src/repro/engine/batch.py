@@ -19,6 +19,7 @@ is byte-identical to the serial path for the same seed.
 from __future__ import annotations
 
 import random
+import threading
 import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Iterator
@@ -127,7 +128,11 @@ class BatchAnonymizer:
         so they fan over a *thread* pool regardless of ``executor``
         (processes cannot share the live index); output stays
         byte-identical for any value. Only effective when the wrapped
-        pipeline uses ``candidate_source="wave"`` (the default).
+        pipeline uses ``candidate_source="wave"`` (the default). The
+        pool is created lazily on first use and **reused** across
+        calls and stream chunks; release it deterministically with
+        :meth:`close` or by using the engine as a context manager
+        (a closed engine lazily revives the pool if used again).
     """
 
     def __init__(
@@ -149,6 +154,59 @@ class BatchAnonymizer:
         self.executor = executor
         self.shards_per_worker = shards_per_worker
         self.global_workers = resolve_workers(global_workers)
+        #: The shared wave-planning thread pool (lazy; see
+        #: :meth:`_ensure_global_pool`). ``_global_pool_unavailable``
+        #: remembers a failed creation so an environment without
+        #: threads is not re-probed on every call.
+        self._global_pool = None
+        self._global_pool_unavailable = False
+        self._global_pool_lock = threading.Lock()
+
+    # -- pool lifecycle ---------------------------------------------------------
+
+    def _ensure_global_pool(self):
+        """The wave-planning thread pool, created once and reused.
+
+        Returns ``None`` when ``global_workers <= 1`` or the
+        environment cannot create thread pools (the serial planning
+        path is always equivalent). Creation is locked so the
+        documented concurrent-call safety holds: racing first calls
+        must not each build a pool and leak all but one.
+        """
+        if self.global_workers <= 1:
+            return None
+        with self._global_pool_lock:
+            if self._global_pool_unavailable:
+                return None
+            if self._global_pool is None:
+                pool = _make_executor("thread", self.global_workers)
+                if pool is None:
+                    self._global_pool_unavailable = True
+                    return None
+                self._global_pool = pool
+            return self._global_pool
+
+    def close(self) -> None:
+        """Shut the shared wave-planning pool down deterministically.
+
+        Idempotent. A closed engine remains usable — the pool is
+        simply re-created lazily on the next call. Like shutting any
+        executor, ``close`` must not race calls still in flight: let
+        concurrent ``anonymize*`` calls finish first (the context-
+        manager form sequences this naturally).
+        """
+        with self._global_pool_lock:
+            pool = self._global_pool
+            self._global_pool = None
+            self._global_pool_unavailable = False
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "BatchAnonymizer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     @property
     def last_report(self) -> AnonymizationReport | None:
@@ -179,26 +237,30 @@ class BatchAnonymizer:
         return result
 
     def anonymize_with_report(
-        self, dataset: TrajectoryDataset
+        self, dataset: TrajectoryDataset, **hooks
     ) -> tuple[TrajectoryDataset, AnonymizationReport]:
         """Anonymize and return ``(dataset, report)`` together.
 
         Nothing is stored on the wrapped anonymizer — the sharding and
         wave-planning hooks travel as per-call arguments — so
         concurrent calls on one engine are safe: each gets its own
-        report and its own atomically reserved noise stream.
+        report and its own atomically reserved noise stream. Extra
+        keyword arguments (``tf_target``, ``base_seed``, ``scope``,
+        ``call_index``) are forwarded to
+        :meth:`FrequencyAnonymizer.anonymize_with_report` — the
+        streaming publisher's injection surface.
+
+        The wave-planning thread pool (``global_workers > 1``) is
+        created lazily on the first call and reused by every later
+        call and stream chunk; see :meth:`close`.
         """
-        if self.global_workers > 1:
-            pool = _make_executor("thread", self.global_workers)
-            if pool is not None:
-                with pool:
-                    return self.anonymizer.anonymize_with_report(
-                        dataset,
-                        local_runner=self._run_local_sharded,
-                        wave_map=lambda fn, jobs: list(pool.map(fn, jobs)),
-                    )
+        pool = self._ensure_global_pool()
+        if pool is not None:
+            hooks.setdefault(
+                "wave_map", lambda fn, jobs: list(pool.map(fn, jobs))
+            )
         return self.anonymizer.anonymize_with_report(
-            dataset, local_runner=self._run_local_sharded
+            dataset, local_runner=self._run_local_sharded, **hooks
         )
 
     def anonymize_stream(
@@ -213,7 +275,21 @@ class BatchAnonymizer:
         works. Yields ``(anonymized, report)`` pairs in input order;
         each dataset draws the same per-call noise stream the ``i``-th
         sequential ``anonymize`` call on the wrapped instance would.
+
+        The in-process path (``workers <= 1`` or ``executor="serial"``)
+        runs chunks through :meth:`anonymize_with_report` directly, so
+        the lazily-created wave-planning pool is shared across all
+        chunks instead of being rebuilt per chunk.
         """
+        if self.workers <= 1 or self.executor == "serial":
+            for dataset in datasets:
+                result, report = self.anonymize_with_report(
+                    dataset, call_index=self.anonymizer.reserve_call_index()
+                )
+                self.anonymizer._last_report = report
+                yield result, report
+            return
+
         spec = self.anonymizer.spec()
 
         def payloads() -> Iterator[tuple[MethodSpec, int, TrajectoryDataset]]:

@@ -1,0 +1,409 @@
+"""The whole-dataset streaming publisher.
+
+``BatchAnonymizer.anonymize_stream`` over ``chunked()`` readers treats
+every chunk as its own release: each chunk draws its own noisy TF over
+its own candidate set, so the published stream is k independent DP
+releases with no shared target and no budget story for the dataset as
+a whole.  :class:`StreamPublisher` closes that gap with a **two-pass**
+protocol that publishes one consistent ε-DP release of the entire
+(possibly larger-than-memory) dataset:
+
+* **Pass 1 — estimate.**  Stream the chunks once, accumulating the
+  dataset-wide TF distribution, the dataset size ``N``, and the union
+  candidate set P (chunk-local signature extraction).  Draw **one**
+  noisy TF over P with the global mechanism's ε_G — the only
+  whole-dataset mechanism invocation.
+* **Pass 2 — realise.**  Apportion each location's shared TF delta
+  across the chunks (largest-remainder, capped by per-chunk capacity,
+  so per-chunk deltas sum *exactly* to the shared delta), re-stream
+  the chunks, and anonymize each one via the existing wave pipeline
+  with its apportioned target injected (``tf_target``) — pure
+  modification, no fresh TF draw.  The local PF stage runs per chunk
+  as usual.
+
+Accounting (:mod:`repro.core.accounting`): the shared TF draw is one
+*sequential* draw over the whole dataset; the per-chunk local PF draws
+cover **disjoint** trajectory sets and compose in *parallel*, so the
+end-to-end budget is ε_G + max(ε_L) = ε_G + ε_L — exactly the declared
+split, independent of the number of chunks.  The merged
+:class:`PublishReport` carries the full :class:`CompositionLedger`.
+
+Determinism: the publisher reserves one call index and derives one
+``base_seed`` shared by every chunk (per-trajectory local streams are
+keyed by object id, so chunks never collide).  A single-chunk publish
+is therefore **byte-identical** to ``anonymize`` on the same seeded
+configuration.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
+
+from repro.core.accounting import WHOLE_DATASET, CompositionLedger, apportion
+from repro.core.global_mechanism import TFPerturbation
+from repro.core.modification import ModificationReport
+from repro.core.pipeline import (
+    AnonymizationReport,
+    FrequencyAnonymizer,
+    derive_seed,
+)
+from repro.engine.batch import BatchAnonymizer
+from repro.trajectory.model import LocationKey, TrajectoryDataset
+
+if TYPE_CHECKING:  # engine sits below repro.api; runtime imports are lazy
+    from repro.api.spec import MethodSpec
+
+#: Chunk sink: receives each anonymized chunk as soon as it is ready
+#: (write it out, ship it, …) so the publisher never holds the stream.
+ChunkSink = Callable[[TrajectoryDataset, AnonymizationReport], None]
+
+#: A re-iterable chunk source: each call starts a fresh iteration over
+#: the same chunks (the publisher streams the data twice).
+ChunkSource = Callable[[], Iterable[TrajectoryDataset]]
+
+#: Label of the shared whole-dataset TF draw in the ledger.
+SHARED_TF_LABEL = "global TF randomization"
+#: Parallel group of the per-chunk local PF draws.
+LOCAL_GROUP = "local PF randomization"
+
+
+def chunk_source(
+    ref, chunk_size: int, registry=None
+) -> ChunkSource:
+    """A re-iterable chunk source over any dataset reference.
+
+    ``ref`` is anything :func:`repro.data.registry.stream_dataset`
+    accepts (planar CSV path, artifact directory, or registry
+    ``name[@version]``); each call re-opens the source, so both passes
+    stream it with bounded memory.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be at least 1")
+    from repro.data.registry import stream_dataset
+    from repro.data.stream import chunked
+
+    def factory() -> Iterator[TrajectoryDataset]:
+        return chunked(stream_dataset(ref, registry), chunk_size)
+
+    return factory
+
+
+@dataclass(slots=True)
+class SharedTFEstimate:
+    """Outcome of pass 1: the one whole-dataset noisy TF draw."""
+
+    #: The shared perturbation over the union candidate set P, or
+    #: ``None`` when the global mechanism is disabled (PureL-style
+    #: publishing needs no TF target — parallel local releases only).
+    perturbation: TFPerturbation | None
+    #: Trajectories seen across all chunks.
+    n_total: int
+    #: Per-chunk trajectory counts, in stream order.
+    chunk_sizes: list[int]
+    #: Per-chunk *nonzero* TF restricted to P, in stream order —
+    #: sparse, so memory stays O(occupied locations), not O(k·|P|).
+    chunk_tf: list[dict[LocationKey, int]]
+    #: The reserved per-call noise-stream index of this publish.
+    call_index: int
+    #: The noise base every chunk of pass 2 shares.
+    base_seed: int
+
+    @property
+    def chunk_count(self) -> int:
+        return len(self.chunk_sizes)
+
+
+@dataclass(slots=True)
+class PublishReport:
+    """Everything observable about one published stream."""
+
+    #: End-to-end ε composed from the ledger (== the declared split).
+    epsilon_total: float
+    #: The composition ledger behind :attr:`epsilon_total`.
+    accounting: CompositionLedger
+    #: Chunks published.
+    chunk_count: int
+    #: Trajectories published across all chunks.
+    trajectories: int
+    #: |P| — locations of the shared TF target (0 when global is off).
+    tf_locations: int
+    #: Sum of the per-chunk modification costs.
+    utility_loss: float
+    #: Per-chunk summaries, in stream order.
+    chunks: list[dict] = field(default_factory=list)
+    #: Provenance: the configuration that produced this stream.
+    spec: "MethodSpec | None" = None
+    #: Wall-clock seconds (both passes).
+    seconds: float = 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable merged report (the artifact's audit trail)."""
+        return {
+            "method": (
+                None
+                if self.spec is None
+                else {**self.spec.to_dict(), "digest": self.spec.digest}
+            ),
+            "epsilon_total": self.epsilon_total,
+            "accounting": self.accounting.to_dict(),
+            "chunk_count": self.chunk_count,
+            "trajectories": self.trajectories,
+            "tf_locations": self.tf_locations,
+            "utility_loss_m": self.utility_loss,
+            "chunks": list(self.chunks),
+            "seconds": self.seconds,
+        }
+
+
+class StreamPublisher:
+    """Two-pass whole-dataset publisher over a chunked stream.
+
+    Parameters
+    ----------
+    engine:
+        A :class:`~repro.engine.batch.BatchAnonymizer` (pass 2 then
+        shards each chunk's local stage and reuses the engine's shared
+        wave-planning pool across chunks) or a bare
+        :class:`~repro.core.pipeline.FrequencyAnonymizer` (chunks run
+        serially in-process).  The wrapped pipeline's
+        ``epsilon_global`` / ``epsilon_local`` *are* the budget split:
+        ε_G buys the one shared TF estimate of pass 1, ε_L the
+        parallel per-chunk local randomization of pass 2.
+    """
+
+    def __init__(self, engine: BatchAnonymizer | FrequencyAnonymizer) -> None:
+        if isinstance(engine, BatchAnonymizer):
+            self.engine = engine
+            self.anonymizer = engine.anonymizer
+        elif isinstance(engine, FrequencyAnonymizer):
+            self.engine = engine
+            self.anonymizer = engine
+        else:
+            raise TypeError(
+                f"StreamPublisher needs a FrequencyAnonymizer or "
+                f"BatchAnonymizer, got {type(engine).__name__}"
+            )
+        if self.anonymizer._global is not None and not self.anonymizer.global_first:
+            # The shared TF is estimated over the *raw* stream; with
+            # local-first ordering the pipeline would perturb the TF of
+            # the locally-modified data instead, so the two would
+            # silently diverge (and single-chunk byte-identity fail).
+            raise ValueError(
+                "StreamPublisher requires global_first=True when the "
+                "global mechanism is enabled: the shared TF estimate is "
+                "drawn over the raw stream"
+            )
+
+    # -- pass 1 -----------------------------------------------------------------
+
+    def estimate(self, chunks: Iterable[TrajectoryDataset]) -> SharedTFEstimate:
+        """Stream the chunks once; draw the shared noisy TF over P.
+
+        The union candidate set P comes from chunk-local signature
+        extraction; the TF values over P are the exact dataset-wide
+        counts, so a single-chunk stream reproduces precisely the
+        ``(tf, rng)`` pair the plain pipeline would perturb — the
+        byte-identity anchor.
+        """
+        anonymizer = self.anonymizer
+        global_tf: Counter = Counter()
+        candidate_set: set[LocationKey] = set()
+        chunk_tfs: list[Counter] = []
+        sizes: list[int] = []
+        needs_tf = anonymizer._global is not None
+        for chunk in chunks:
+            if len(chunk) == 0:
+                continue
+            sizes.append(len(chunk))
+            if not needs_tf:
+                # Without a global mechanism there is no shared target
+                # to estimate; only the chunk sizes matter, so skip
+                # the full counting scan of the stream.
+                continue
+            tf = chunk.trajectory_frequencies()
+            chunk_tfs.append(tf)
+            global_tf.update(tf)
+            index = anonymizer.extractor.extract(chunk, tf=tf)
+            candidate_set.update(index.candidate_set)
+        if not sizes:
+            raise ValueError("cannot publish an empty stream (no chunks)")
+        n_total = sum(sizes)
+
+        call_index = anonymizer.reserve_call_index()
+        base_seed = anonymizer.base_seed_for(call_index)
+
+        perturbation = None
+        if anonymizer._global is not None:
+            shared_tf = {loc: global_tf[loc] for loc in candidate_set}
+            rng = random.Random(derive_seed(base_seed, "global"))
+            perturbation = anonymizer._global.perturb(shared_tf, n_total, rng)
+        restricted = [
+            {loc: count for loc, count in tf.items() if loc in candidate_set}
+            for tf in chunk_tfs
+        ]
+        return SharedTFEstimate(
+            perturbation=perturbation,
+            n_total=n_total,
+            chunk_sizes=sizes,
+            chunk_tf=restricted,
+            call_index=call_index,
+            base_seed=base_seed,
+        )
+
+    def chunk_targets(self, estimate: SharedTFEstimate) -> list[TFPerturbation] | None:
+        """Apportion the shared TF delta into one target per chunk.
+
+        For every location of P the shared delta splits across chunks
+        proportionally to capacity — TF decreases weighted by how many
+        of the chunk's trajectories contain the location (you cannot
+        delete what is not there), increases by how many do *not*
+        (an insertion targets a trajectory without the location) —
+        with largest-remainder rounding, so the per-chunk deltas sum
+        exactly to the shared delta and every per-chunk target stays
+        inside ``[0, |chunk|]``.  A single chunk receives the shared
+        perturbation verbatim.
+        """
+        shared = estimate.perturbation
+        if shared is None:
+            return None
+        k = estimate.chunk_count
+        deltas: list[dict[LocationKey, int]] = [{} for _ in range(k)]
+        for loc in sorted(shared.original):
+            d = shared.perturbed[loc] - shared.original[loc]
+            if d == 0:
+                continue
+            origs = [estimate.chunk_tf[i].get(loc, 0) for i in range(k)]
+            if d > 0:
+                caps = [estimate.chunk_sizes[i] - origs[i] for i in range(k)]
+                shares = apportion(d, caps, caps)
+            else:
+                shares = [-s for s in apportion(-d, origs, origs)]
+            for i, share in enumerate(shares):
+                if share:
+                    deltas[i][loc] = share
+        targets = []
+        for i in range(k):
+            # Sparse: the chunk's own nonzero TF plus any location its
+            # delta share touches — never the full candidate set per
+            # chunk (a single chunk still receives all of P, because
+            # every candidate location has a nonzero dataset TF).
+            original = dict(estimate.chunk_tf[i])
+            perturbed = dict(original)
+            for loc, share in deltas[i].items():
+                perturbed[loc] = perturbed.get(loc, 0) + share
+                original.setdefault(loc, 0)
+            targets.append(
+                TFPerturbation(
+                    original=original,
+                    perturbed=perturbed,
+                    epsilon=shared.epsilon,
+                )
+            )
+        return targets
+
+    # -- pass 2 -----------------------------------------------------------------
+
+    def publish(
+        self, chunks: ChunkSource, sink: ChunkSink | None = None
+    ) -> PublishReport:
+        """Publish the whole stream; return the merged report.
+
+        ``chunks`` is called twice — once per pass — and must replay
+        the same chunking both times (sizes are verified; a drifting
+        source aborts rather than publishing against a stale target).
+        Each anonymized chunk is handed to ``sink`` as soon as it is
+        ready, so the output can stream to disk without ever holding
+        the dataset.
+        """
+        started = time.perf_counter()
+        anonymizer = self.anonymizer
+        estimate = self.estimate(iter(chunks()))
+        targets = self.chunk_targets(estimate)
+
+        ledger = CompositionLedger()
+        if estimate.perturbation is not None:
+            ledger.record(
+                SHARED_TF_LABEL, anonymizer.epsilon_global, scope=WHOLE_DATASET
+            )
+        totals = ModificationReport()
+        summaries: list[dict] = []
+        trajectories = 0
+        index = 0
+        for chunk in chunks():
+            if len(chunk) == 0:
+                continue
+            if index >= estimate.chunk_count or len(chunk) != estimate.chunk_sizes[index]:
+                raise ValueError(
+                    f"chunk source changed between passes: pass 1 saw "
+                    f"{estimate.chunk_count} chunk(s) of sizes "
+                    f"{estimate.chunk_sizes}, pass 2 diverged at chunk "
+                    f"{index}"
+                )
+            scope = f"chunk:{index}"
+            result, report = self.engine.anonymize_with_report(
+                chunk,
+                tf_target=None if targets is None else targets[index],
+                base_seed=estimate.base_seed,
+                scope=scope,
+            )
+            if anonymizer._local is not None:
+                ledger.record_parallel(
+                    LOCAL_GROUP,
+                    "local PF randomization",
+                    anonymizer.epsilon_local,
+                    scope=scope,
+                )
+            trajectories += len(result)
+            chunk_mods = ModificationReport()
+            for part in (report.global_report, report.local_report):
+                if part is not None:
+                    chunk_mods.merge(part)
+            totals.merge(chunk_mods)
+            summaries.append(
+                {
+                    "scope": scope,
+                    "trajectories": len(result),
+                    "utility_loss_m": chunk_mods.utility_loss,
+                    "insertions": chunk_mods.insertions,
+                    "deletions": chunk_mods.deletions,
+                    "unrealised": chunk_mods.unrealised,
+                }
+            )
+            if sink is not None:
+                sink(result, report)
+            index += 1
+        if index != estimate.chunk_count:
+            raise ValueError(
+                f"chunk source changed between passes: pass 1 saw "
+                f"{estimate.chunk_count} chunk(s), pass 2 only {index}"
+            )
+
+        return PublishReport(
+            epsilon_total=ledger.epsilon_total,
+            accounting=ledger,
+            chunk_count=estimate.chunk_count,
+            trajectories=trajectories,
+            tf_locations=(
+                0
+                if estimate.perturbation is None
+                else len(estimate.perturbation.original)
+            ),
+            utility_loss=totals.utility_loss,
+            chunks=summaries,
+            spec=anonymizer.spec(),
+            seconds=time.perf_counter() - started,
+        )
+
+    def publish_collected(
+        self, chunks: ChunkSource
+    ) -> tuple[TrajectoryDataset, PublishReport]:
+        """:meth:`publish`, materialising the output (tests, small data)."""
+        published: list = []
+        report = self.publish(
+            chunks, sink=lambda dataset, _report: published.extend(dataset)
+        )
+        return TrajectoryDataset(published), report

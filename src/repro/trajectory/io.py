@@ -21,20 +21,36 @@ from repro.trajectory.model import Point, Trajectory, TrajectoryDataset
 EARTH_RADIUS_M = 6_371_000.0
 
 
+CSV_HEADER = ["object_id", "t", "x", "y"]
+
+
+def write_csv_rows(writer, trajectories: Iterable[Trajectory]) -> None:
+    """Write ``object_id,t,x,y`` data rows (no header) to a csv writer.
+
+    The one definition of the row format; every producer of the native
+    planar CSV (``write_csv``, the ingest artifact writer, the
+    streaming publisher's chunk sink) goes through it, so byte-level
+    output parity between them cannot drift.
+    """
+    for trajectory in trajectories:
+        for point in trajectory:
+            writer.writerow(
+                [
+                    trajectory.object_id,
+                    f"{point.t:.3f}",
+                    f"{point.x:.3f}",
+                    f"{point.y:.3f}",
+                ]
+            )
+
+
 def write_csv(dataset: TrajectoryDataset, path: str | Path) -> None:
     """Write the dataset as a single ``object_id,t,x,y`` CSV file."""
     path = Path(path)
     with path.open("w", newline="") as handle:
         writer = csv.writer(handle)
-        writer.writerow(["object_id", "t", "x", "y"])
-        for trajectory in dataset:
-            for point in trajectory:
-                writer.writerow(
-                    [trajectory.object_id, f"{point.t:.3f}", f"{point.x:.3f}", f"{point.y:.3f}"]
-                )
-
-
-CSV_HEADER = ["object_id", "t", "x", "y"]
+        writer.writerow(CSV_HEADER)
+        write_csv_rows(writer, dataset)
 
 
 def stream_csv_rows(

@@ -6,8 +6,8 @@ The load-bearing guarantees:
   (the engine ships them across pool boundaries);
 * every Table II label resolves through the registry and
   ``FrequencyAnonymizer(**spec.params)`` round-trips the pipeline's
-  canonical spec, including the ``epsilon_global=None``-vs-``0.0``
-  normalization edge;
+  canonical spec, and an explicit ``epsilon_*=0.0`` is rejected
+  (``None`` is the one way to disable a stage);
 * ``run(spec, data)`` is byte-identical to the legacy direct path for
   the same seed, on both engines;
 * results travel with the return value — concurrent runs on one
@@ -257,12 +257,13 @@ class TestSpecRoundTrip:
         assert rebuilt.config() == instance.config()
         assert rebuilt.spec().digest == spec.digest
 
-    def test_epsilon_zero_normalizes_like_none(self):
+    def test_epsilon_zero_is_rejected_not_normalized(self):
+        """An explicit ε=0 raises; None is the one way to disable a
+        stage, so every spec digest unambiguously states what ran."""
         none_form = FrequencyAnonymizer(epsilon_global=0.7, epsilon_local=None)
-        zero_form = FrequencyAnonymizer(epsilon_global=0.7, epsilon_local=0.0)
-        assert none_form.spec().digest == zero_form.spec().digest
-        rebuilt = FrequencyAnonymizer(**zero_form.spec().params)
-        assert rebuilt.config() == zero_form.config()
+        assert none_form.spec().params["epsilon_local"] is None
+        with pytest.raises(ValueError, match="explicit zero budget"):
+            FrequencyAnonymizer(epsilon_global=0.7, epsilon_local=0.0)
 
     def test_spec_is_engine_payload(self, fleet):
         """The spec crosses process boundaries in place of config()."""

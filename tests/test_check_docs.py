@@ -24,13 +24,15 @@ class TestSpec:
     def test_covers_every_subcommand(self, check_docs):
         spec = check_docs.build_spec()
         assert set(spec) == {
-            "generate", "ingest", "methods", "anonymize", "attack",
-            "evaluate", "experiment",
+            "generate", "ingest", "methods", "anonymize", "publish",
+            "attack", "evaluate", "experiment",
         }
         assert "--engine" in spec["anonymize"]["options"]
         assert "--method" in spec["anonymize"]["options"]
         assert "--param" in spec["anonymize"]["options"]
         assert "--dataset" in spec["experiment"]["options"]
+        assert "--split" in spec["publish"]["options"]
+        assert "--chunk-size" in spec["publish"]["options"]
 
 
 class TestCheckCommand:

@@ -469,3 +469,70 @@ class TestArtifactExportImport:
         with pytest.raises(ValueError, match="plain path segment"):
             DatasetRegistry(tmp_path / "root").import_artifact(archive)
         assert not (tmp_path / "escaped").exists()
+
+
+class TestLatestPointer:
+    """`resolve` honours the recorded `latest` pointer and repairs a
+    dangling one (the registry must stay self-consistent after manual
+    deletions and imports)."""
+
+    def _two_versions(self, planar_csv, root):
+        registry = DatasetRegistry(root)
+        first = registry.ingest("fleet", planar_csv)
+        second = registry.ingest(
+            "fleet", planar_csv, PreprocessConfig(min_points=3)
+        )
+        return registry, first, second
+
+    def test_pointer_wins_over_directory_mtime_order(
+        self, planar_csv, tmp_path
+    ):
+        """Disagreement case: mtimes say `first` is newest (a backup
+        or copy touched it), the pointer says `second` — the pointer
+        is authoritative."""
+        import os
+        import time
+
+        registry, first, second = self._two_versions(
+            planar_csv, tmp_path / "reg"
+        )
+        future = time.time() + 1000
+        os.utime(first.path, (future, future))
+        assert registry.versions("fleet")[-1] == first.version  # mtime order
+        assert registry.resolve("fleet") == second.path  # pointer order
+
+    def test_dangling_pointer_is_repaired(self, planar_csv, tmp_path):
+        import shutil
+
+        registry, first, second = self._two_versions(
+            planar_csv, tmp_path / "reg"
+        )
+        marker = tmp_path / "reg" / "fleet" / "latest"
+        assert marker.read_text().strip() == second.version
+        shutil.rmtree(second.path)  # the pointer now dangles
+        resolved = registry.resolve("fleet")
+        assert resolved == first.path
+        assert marker.read_text().strip() == first.version  # repaired
+
+    def test_missing_pointer_is_recreated(self, planar_csv, tmp_path):
+        registry = DatasetRegistry(tmp_path / "reg")
+        result = registry.ingest("fleet", planar_csv)
+        marker = tmp_path / "reg" / "fleet" / "latest"
+        marker.unlink()
+        assert registry.resolve("fleet") == result.path
+        assert marker.read_text().strip() == result.version
+
+    def test_import_cache_hit_repairs_dangling_pointer(
+        self, planar_csv, tmp_path
+    ):
+        source = DatasetRegistry(tmp_path / "a")
+        source.ingest("fleet", planar_csv)
+        archive = source.export_artifact("fleet", tmp_path / "fleet.tar.gz")
+        target = DatasetRegistry(tmp_path / "b")
+        imported = target.import_artifact(archive)
+        marker = tmp_path / "b" / "fleet" / "latest"
+        marker.write_text("deadbeef")  # dangle it behind the registry's back
+        again = target.import_artifact(archive)
+        assert not again.fresh  # cache hit installs nothing...
+        assert marker.read_text().strip() == imported.version  # ...but repairs
+        assert target.resolve("fleet") == imported.path

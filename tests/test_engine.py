@@ -219,3 +219,69 @@ class TestBatchAnonymizer:
         rebuilt = FrequencyAnonymizer(**original.config())
         assert rebuilt.epsilon == pytest.approx(original.epsilon)
         assert rebuilt.config() == original.config()
+
+
+class TestGlobalPoolLifecycle:
+    """The wave-planning thread pool is created lazily once, reused
+    across calls and stream chunks, and torn down deterministically."""
+
+    def _engine(self):
+        return BatchAnonymizer(
+            GL(epsilon=1.0, signature_size=3, seed=31),
+            workers=1,
+            global_workers=2,
+        )
+
+    def test_pool_not_recreated_per_call_or_chunk(self, fleet, monkeypatch):
+        import repro.engine.batch as batch_module
+
+        created = []
+        real = batch_module._make_executor
+
+        def counting(kind, workers):
+            created.append(kind)
+            return real(kind, workers)
+
+        monkeypatch.setattr(batch_module, "_make_executor", counting)
+        engine = self._engine()
+        assert engine._global_pool is None  # lazy: nothing until first use
+        with engine:
+            engine.anonymize_with_report(fleet.dataset)
+            engine.anonymize_with_report(fleet.dataset)
+            list(engine.anonymize_stream([fleet.dataset] * 3))
+        assert created.count("thread") == 1
+
+    def test_pool_instance_is_shared(self, fleet):
+        engine = self._engine()
+        engine.anonymize_with_report(fleet.dataset)
+        pool = engine._global_pool
+        assert pool is not None
+        engine.anonymize_with_report(fleet.dataset)
+        assert engine._global_pool is pool
+        engine.close()
+
+    def test_close_is_idempotent_and_reentrant(self, fleet):
+        engine = self._engine()
+        engine.anonymize_with_report(fleet.dataset)
+        engine.close()
+        assert engine._global_pool is None
+        engine.close()  # idempotent
+        # A closed engine lazily revives the pool when used again.
+        _, report = engine.anonymize_with_report(fleet.dataset)
+        assert report is not None
+        engine.close()
+
+    def test_no_pool_when_global_workers_is_one(self, fleet):
+        engine = BatchAnonymizer(
+            GL(epsilon=1.0, signature_size=3, seed=31), workers=1
+        )
+        engine.anonymize_with_report(fleet.dataset)
+        assert engine._global_pool is None
+
+    def test_pooled_output_identical_to_serial(self, fleet):
+        serial = GL(epsilon=1.0, signature_size=3, seed=31).anonymize(
+            fleet.dataset
+        )
+        with self._engine() as engine:
+            pooled = engine.anonymize(fleet.dataset)
+        assert coords_of(pooled) == coords_of(serial)

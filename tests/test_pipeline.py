@@ -40,8 +40,15 @@ class TestConfiguration:
         with pytest.raises(ValueError, match="non-negative"):
             GL(epsilon=-2.0)
 
-    def test_zero_epsilon_with_other_enabled_is_allowed(self):
-        anonymizer = FrequencyAnonymizer(epsilon_global=0.0, epsilon_local=0.5)
+    def test_explicit_zero_epsilon_is_rejected(self):
+        """ε=0 must not be silently conflated with "stage disabled"."""
+        with pytest.raises(ValueError, match="explicit zero budget"):
+            FrequencyAnonymizer(epsilon_global=0.0, epsilon_local=0.5)
+        with pytest.raises(ValueError, match="epsilon_local=0"):
+            FrequencyAnonymizer(epsilon_global=0.5, epsilon_local=0.0)
+
+    def test_none_disables_a_stage(self):
+        anonymizer = FrequencyAnonymizer(epsilon_global=None, epsilon_local=0.5)
         assert anonymizer.epsilon == pytest.approx(0.5)
 
     def test_epsilon_composition(self):
