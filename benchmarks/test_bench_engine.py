@@ -133,7 +133,7 @@ def test_wave_output_identical_to_incremental(engine_fleet, tf_perturbation):
     serial_out, serial_report = _apply_inter(
         engine_fleet.dataset, tf_perturbation, "incremental"
     )
-    for a, b in zip(wave_out, serial_out):
+    for a, b in zip(wave_out, serial_out, strict=True):
         assert [(p.coord, p.t) for p in a] == [(p.coord, p.t) for p in b]
     assert wave_report.utility_loss == serial_report.utility_loss
     assert wave_report.insertions == serial_report.insertions
@@ -273,5 +273,5 @@ def test_batch_output_identical_to_serial(engine_fleet):
     batched = BatchAnonymizer(
         PureL(epsilon=0.5, signature_size=SIGNATURE_SIZE, seed=7), workers=4
     ).anonymize(engine_fleet.dataset)
-    for a, b in zip(serial, batched):
+    for a, b in zip(serial, batched, strict=True):
         assert [p.coord for p in a] == [p.coord for p in b]

@@ -1,0 +1,54 @@
+"""Project-specific static analysis: privacy, determinism, concurrency.
+
+The repo's three load-bearing runtime invariants — every noise draw is
+recorded in the composition ledger, every stage is byte-deterministic
+under a seed, shared engine state is only mutated under locks — are
+enforced here *statically*, as lint rules with stable codes, so
+violations fail CI before any hypothesis test has to catch them:
+
+======== =====================================================
+DP001    noise drawn outside sanctioned mechanism modules by a
+         scope that never records to the composition ledger
+DET001   global-state RNG call (``random.*`` / legacy
+         ``np.random.*``) instead of a threaded seeded generator
+DET002   wall-clock reads and direct set iteration on committed
+         output paths
+RACE001  unlocked ``self.*``/global writes reachable from
+         thread-pool entry points (call-graph approximation)
+EPS001   epsilon compared with ``== 0``/truthiness instead of
+         ``is None``
+======== =====================================================
+
+Run via ``repro check`` (or ``tools/check_static.py`` in CI).
+Suppress a finding inline with ``# repro: noqa[CODE]``; grandfather it
+with a justified entry in ``tools/analysis_baseline.json``. The rule
+catalogue with examples lives in ``docs/analysis.md``.
+"""
+
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule, all_rules, rule, rules_for
+from repro.analysis.runner import (
+    AnalysisError,
+    AnalysisReport,
+    analyze_paths,
+    analyze_project,
+    analyze_source,
+    load_project,
+)
+
+__all__ = [
+    "AnalysisError",
+    "AnalysisReport",
+    "Baseline",
+    "BaselineEntry",
+    "Finding",
+    "Rule",
+    "all_rules",
+    "analyze_paths",
+    "analyze_project",
+    "analyze_source",
+    "load_project",
+    "rule",
+    "rules_for",
+]

@@ -1,0 +1,342 @@
+"""The built-in AST rules: DP001, DET001, DET002, EPS001.
+
+RACE001 needs cross-module call-graph machinery and lives in
+:mod:`repro.analysis.callgraph`. Everything here is a single-module
+syntactic check over the shared :class:`~repro.analysis.visitor.ModuleInfo`
+facts.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from .findings import Finding
+from .rules import Rule, rule
+from .visitor import ModuleInfo, Project
+
+# ---------------------------------------------------------------------------
+# DP001 — unledgered noise
+# ---------------------------------------------------------------------------
+
+#: Modules allowed to draw noise without their own ledger calls — they
+#: are the sanctioned mechanism primitives; accounting happens one
+#: level up, at their call sites.
+SANCTIONED_MODULES = frozenset(
+    {
+        "repro.core.laplace",
+        "repro.core.global_mechanism",
+        "repro.core.local_mechanism",
+    }
+)
+
+#: Attribute-call names that draw noise. ``perturb_trajectory`` is
+#: deliberately absent: it is the *recorded* high-level entry point the
+#: engine layer calls, not a raw draw.
+_DRAW_ATTRS = frozenset({"laplace", "exponential", "perturb", "perturb_count"})
+
+#: Fully-qualified callables that draw noise.
+_DRAW_QUALIFIED = frozenset(
+    {
+        "repro.core.laplace.laplace_noise",
+        "repro.core.laplace.LaplaceMechanism",
+    }
+)
+
+#: A scope containing any of these attribute calls is considered to
+#: thread its draws through the composition ledger / accountant.
+_LEDGER_ATTRS = frozenset({"record", "record_parallel", "spend"})
+
+
+class _DrawCollector(ast.NodeVisitor):
+    """Collect noise-draw call sites, grouped by innermost ClassDef
+    (or the module for top-level code), and whether each scope also
+    contains a ledger call."""
+
+    def __init__(self, module: ModuleInfo) -> None:
+        self.module = module
+        self._class_stack: list[ast.ClassDef] = []
+        #: scope key (ClassDef node or None for module level)
+        self.draws: dict[ast.ClassDef | None, list[ast.Call]] = {}
+        self.ledgered: set[ast.ClassDef | None] = set()
+
+    def _scope(self) -> ast.ClassDef | None:
+        return self._class_stack[-1] if self._class_stack else None
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        scope = self._scope()
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if func.attr in _LEDGER_ATTRS:
+                self.ledgered.add(scope)
+            if func.attr in _DRAW_ATTRS:
+                self.draws.setdefault(scope, []).append(node)
+        qualified = self.module.qualified(func)
+        if qualified in _DRAW_QUALIFIED:
+            self.draws.setdefault(scope, []).append(node)
+        self.generic_visit(node)
+
+
+@rule
+class UnledgeredNoise(Rule):
+    code = "DP001"
+    name = "unledgered noise"
+    summary = (
+        "noise is drawn outside the sanctioned mechanism modules by a "
+        "scope that never records to the composition ledger"
+    )
+    rationale = (
+        "Every Laplace draw consumes privacy budget; a draw that is not "
+        "recorded via CompositionLedger.record/record_parallel or "
+        "PrivacyAccountant.spend silently under-reports the true epsilon "
+        "of a published dataset."
+    )
+    example = "noisy = mechanism.perturb_count(count, rng)  # no ledger in scope"
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for module in project.modules:
+            if module.name in SANCTIONED_MODULES:
+                continue
+            collector = _DrawCollector(module)
+            collector.visit(module.tree)
+            for scope, calls in collector.draws.items():
+                if scope in collector.ledgered:
+                    continue
+                where = f"class {scope.name}" if scope is not None else "module scope"
+                for call in calls:
+                    yield self.finding(
+                        module,
+                        call,
+                        f"noise draw in {where} without a ledger "
+                        f"record/record_parallel/spend call; thread a "
+                        f"CompositionLedger or move the draw into a "
+                        f"sanctioned mechanism module",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# DET001 — bare RNG
+# ---------------------------------------------------------------------------
+
+#: Explicit-state constructors in numpy.random that are fine to call.
+_NUMPY_SEEDED = frozenset(
+    {"default_rng", "Generator", "SeedSequence", "PCG64", "Philox", "MT19937"}
+)
+
+#: stdlib ``random`` attributes that create explicit-state instances.
+_STDLIB_SEEDED = frozenset({"Random", "SystemRandom"})
+
+
+@rule
+class BareRng(Rule):
+    code = "DET001"
+    name = "bare RNG"
+    summary = (
+        "global-state RNG call (stdlib random.* module function or "
+        "np.random.* legacy API) instead of a threaded seeded generator"
+    )
+    rationale = (
+        "All randomness must flow from derive_seed/local_stream_seed "
+        "through explicit random.Random / numpy Generator instances; a "
+        "global-state call breaks byte-identity between runs and between "
+        "the serial and wave-parallel engines."
+    )
+    example = "value = random.random()  # use rng.random() with a seeded rng"
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for module in project.modules:
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                qualified = module.qualified(node.func)
+                if qualified is None:
+                    continue
+                finding = self._classify(module, node, qualified)
+                if finding is not None:
+                    yield finding
+
+    def _classify(
+        self, module: ModuleInfo, node: ast.Call, qualified: str
+    ) -> Finding | None:
+        if qualified.startswith("random."):
+            attr = qualified.split(".", 1)[1]
+            if "." not in attr and attr not in _STDLIB_SEEDED:
+                return self.finding(
+                    module,
+                    node,
+                    f"global-state stdlib RNG call random.{attr}(); "
+                    f"use an explicit random.Random(seed) instance",
+                )
+        if qualified.startswith("numpy.random."):
+            attr = qualified.split("numpy.random.", 1)[1]
+            if "." not in attr and attr not in _NUMPY_SEEDED:
+                return self.finding(
+                    module,
+                    node,
+                    f"legacy global-state numpy RNG call "
+                    f"np.random.{attr}(); use numpy.random.default_rng(seed)",
+                )
+        return None
+
+
+# ---------------------------------------------------------------------------
+# DET002 — nondeterminism sources
+# ---------------------------------------------------------------------------
+
+#: Wall-clock reads that leak into output if called on a committed path.
+#: ``time.perf_counter``/``time.monotonic`` are allowed: they only feed
+#: timing reports, never data, and the reports label them as timings.
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+@rule
+class NondeterminismSource(Rule):
+    code = "DET002"
+    name = "nondeterminism source"
+    summary = (
+        "wall-clock read or direct iteration over an unordered set in "
+        "code that feeds committed output"
+    )
+    rationale = (
+        "Byte-identical reruns are the repo's determinism contract; "
+        "wall-clock values and set iteration order vary between "
+        "processes (hash randomization) and so cannot appear on any "
+        "path that produces committed output."
+    )
+    example = "for loc in {a, b, c}:  # iterate sorted(...) instead"
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for module in project.modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Call):
+                    qualified = module.qualified(node.func)
+                    if qualified in _WALL_CLOCK:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"wall-clock read {qualified}(); thread an "
+                            f"explicit timestamp parameter instead "
+                            f"(perf_counter is allowed for timings)",
+                        )
+                    continue
+                iters: list[ast.expr] = []
+                if isinstance(node, ast.For):
+                    iters.append(node.iter)
+                elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                    iters.extend(gen.iter for gen in node.generators)
+                for it in iters:
+                    if self._is_unordered(module, it):
+                        yield self.finding(
+                            module,
+                            it,
+                            "iteration directly over a set has "
+                            "nondeterministic order; wrap in sorted(...)",
+                        )
+
+    @staticmethod
+    def _is_unordered(module: ModuleInfo, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            qualified = module.qualified(node.func)
+            return qualified in {"set", "frozenset"}
+        return False
+
+
+# ---------------------------------------------------------------------------
+# EPS001 — epsilon None-vs-zero confusion
+# ---------------------------------------------------------------------------
+
+
+def _is_epsilon_name(identifier: str) -> bool:
+    lowered = identifier.lower()
+    return (
+        "epsilon" in lowered
+        or lowered == "eps"
+        or lowered.startswith("eps_")
+        or lowered.endswith("_eps")
+    )
+
+
+def _epsilon_expr(node: ast.expr) -> str | None:
+    """The identifier when ``node`` is a bare epsilon-named Name or
+    Attribute chain, else None."""
+    if isinstance(node, ast.Name) and _is_epsilon_name(node.id):
+        return node.id
+    if isinstance(node, ast.Attribute) and _is_epsilon_name(node.attr):
+        return node.attr
+    return None
+
+
+def _is_zero(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and type(node.value) in (int, float) and node.value == 0
+
+
+@rule
+class EpsilonTruthiness(Rule):
+    code = "EPS001"
+    name = "epsilon None-vs-zero confusion"
+    summary = (
+        "epsilon compared with ==/!= 0 or used for truthiness instead "
+        "of an `is None` check"
+    )
+    rationale = (
+        "A disabled stage is epsilon=None, not epsilon=0: treating 0.0 "
+        "and None alike either spends budget that was never requested "
+        "or silently drops a requested mechanism (the PR 5 epsilon-edge "
+        "bug)."
+    )
+    example = "mech = Mechanism(eps) if eps else None  # use `if eps is not None`"
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for module in project.modules:
+            for node in ast.walk(module.tree):
+                yield from self._check_node(module, node)
+
+    def _check_node(self, module: ModuleInfo, node: ast.AST) -> Iterator[Finding]:
+        if isinstance(node, ast.Compare):
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:], strict=False):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                for eps_side, other in ((left, right), (right, left)):
+                    name = _epsilon_expr(eps_side)
+                    if name is not None and _is_zero(other):
+                        yield self.finding(
+                            module,
+                            node,
+                            f"epsilon parameter {name!r} compared with "
+                            f"==/!= 0; disabled means None — use "
+                            f"`is None` / `is not None`",
+                        )
+            return
+        tests: list[ast.expr] = []
+        if isinstance(node, (ast.If, ast.While, ast.IfExp)):
+            tests.append(node.test)
+        elif isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.Not):
+            tests.append(node.operand)
+        elif isinstance(node, ast.BoolOp):
+            tests.extend(node.values)
+        for test in tests:
+            name = _epsilon_expr(test)
+            if name is not None:
+                yield self.finding(
+                    module,
+                    test,
+                    f"truthiness test on epsilon parameter {name!r} "
+                    f"conflates 0.0 with None; use `is not None`",
+                )

@@ -1,0 +1,206 @@
+"""Drive the rules over a file tree and render the results.
+
+:func:`analyze_paths` is the programmatic entry the CLI and
+``tools/check_static.py`` share; :func:`analyze_source` analyzes one
+in-memory snippet (the test fixture path). Suppression
+(``# repro: noqa[CODE]``) and baseline matching happen here, after the
+rules run, so individual rules stay oblivious to both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .baseline import Baseline, BaselineEntry
+from .findings import Finding
+from .rules import Rule, rules_for
+from .visitor import ModuleInfo, Project, module_name_for
+
+
+class AnalysisError(Exception):
+    """The analyzer itself failed (unreadable file, syntax error) —
+    distinct from "findings exist"; maps to exit code 2."""
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one analysis run produced."""
+
+    #: Findings that count against the exit code.
+    findings: list[Finding] = field(default_factory=list)
+    #: Findings silenced by an inline ``# repro: noqa`` comment.
+    suppressed: list[Finding] = field(default_factory=list)
+    #: Findings absorbed by the baseline file.
+    baselined: list[Finding] = field(default_factory=list)
+    #: Baseline entries that matched nothing (should be deleted).
+    stale_baseline: list[BaselineEntry] = field(default_factory=list)
+    #: Files analyzed.
+    files: int = 0
+    #: Rule codes that ran.
+    codes: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def exit_code(self) -> int:
+        return 0 if self.clean else 1
+
+    def to_dict(self) -> dict:
+        return {
+            "version": 1,
+            "files": self.files,
+            "codes": self.codes,
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+            "baselined": [f.to_dict() for f in self.baselined],
+            "stale_baseline": [e.to_dict() for e in self.stale_baseline],
+            "clean": self.clean,
+        }
+
+    def render_human(self) -> str:
+        lines: list[str] = []
+        for finding in self.findings:
+            lines.append(finding.render())
+            if finding.snippet:
+                lines.append(f"    {finding.snippet}")
+        for entry in self.stale_baseline:
+            lines.append(
+                f"warning: stale baseline entry {entry.code} for "
+                f"{entry.path!r} ({entry.snippet!r}) matches nothing — "
+                f"delete it"
+            )
+        summary = (
+            f"checked {self.files} file(s) against "
+            f"{len(self.codes)} rule(s): "
+        )
+        if self.clean:
+            summary += "clean"
+        else:
+            summary += f"{len(self.findings)} finding(s)"
+        extras = []
+        if self.suppressed:
+            extras.append(f"{len(self.suppressed)} suppressed")
+        if self.baselined:
+            extras.append(f"{len(self.baselined)} baselined")
+        if extras:
+            summary += f" ({', '.join(extras)})"
+        lines.append(summary)
+        return "\n".join(lines)
+
+
+def _iter_python_files(paths: Sequence[Path]) -> Iterable[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+        else:
+            raise AnalysisError(f"{path}: not a Python file or directory")
+
+
+def load_project(paths: Sequence[Path], root: Path | None = None) -> Project:
+    """Parse every ``.py`` under ``paths`` into a :class:`Project`.
+
+    Paths in findings are reported relative to ``root`` (default: the
+    current directory) when possible, POSIX-style.
+    """
+    root = Path.cwd() if root is None else Path(root)
+    project = Project()
+    seen: set[Path] = set()
+    for file_path in _iter_python_files([Path(p) for p in paths]):
+        resolved = file_path.resolve()
+        if resolved in seen:
+            continue
+        seen.add(resolved)
+        try:
+            source = file_path.read_text()
+        except OSError as exc:
+            raise AnalysisError(f"{file_path}: unreadable: {exc}") from exc
+        try:
+            relative = str(resolved.relative_to(root.resolve()).as_posix())
+        except ValueError:
+            relative = file_path.as_posix()
+        name = module_name_for(file_path, root)
+        try:
+            project.modules.append(ModuleInfo.parse(source, relative, name))
+        except SyntaxError as exc:
+            raise AnalysisError(f"{file_path}: syntax error: {exc}") from exc
+    return project
+
+
+def run_rules(project: Project, rules: Sequence[Rule]) -> list[Finding]:
+    findings: list[Finding] = []
+    for rule in rules:
+        findings.extend(rule.check(project))
+    return sorted(findings, key=Finding.sort_key)
+
+
+def analyze_project(
+    project: Project,
+    rules: Sequence[Rule] | None = None,
+    baseline: Baseline | None = None,
+    codes: Iterable[str] | None = None,
+) -> AnalysisReport:
+    """Run ``rules`` (or the registered set restricted to ``codes``)
+    over an already-parsed project."""
+    if rules is None:
+        rules = rules_for(list(codes) if codes is not None else None)
+    raw = run_rules(project, rules)
+    by_path = {module.path: module for module in project.modules}
+    kept: list[Finding] = []
+    suppressed: list[Finding] = []
+    for finding in raw:
+        module = by_path.get(finding.path)
+        if module is not None and module.suppressed(finding.code, finding.line):
+            suppressed.append(finding)
+        else:
+            kept.append(finding)
+    if baseline is None:
+        active, baselined, stale = kept, [], []
+    else:
+        active, baselined, stale = baseline.apply(kept)
+    return AnalysisReport(
+        findings=active,
+        suppressed=suppressed,
+        baselined=baselined,
+        stale_baseline=stale,
+        files=len(project.modules),
+        codes=[rule.code for rule in rules],
+    )
+
+
+def analyze_paths(
+    paths: Sequence[Path | str],
+    root: Path | str | None = None,
+    baseline: Baseline | Path | str | None = None,
+    codes: Iterable[str] | None = None,
+) -> AnalysisReport:
+    """Analyze a file tree: the CLI/CI entry point.
+
+    ``baseline`` may be a loaded :class:`Baseline` or a path to one;
+    ``codes`` restricts the rule set (default: every registered rule).
+    """
+    root_path = Path.cwd() if root is None else Path(root)
+    if baseline is not None and not isinstance(baseline, Baseline):
+        baseline = Baseline.load(Path(baseline))
+    project = load_project([Path(p) for p in paths], root=root_path)
+    return analyze_project(project, baseline=baseline, codes=codes)
+
+
+def analyze_source(
+    source: str,
+    path: str = "<snippet>.py",
+    module: str = "snippet",
+    codes: Iterable[str] | None = None,
+    baseline: Baseline | None = None,
+) -> AnalysisReport:
+    """Analyze one in-memory snippet (test-fixture convenience)."""
+    try:
+        info = ModuleInfo.parse(source, path, module)
+    except SyntaxError as exc:
+        raise AnalysisError(f"{path}: syntax error: {exc}") from exc
+    project = Project(modules=[info])
+    return analyze_project(project, baseline=baseline, codes=codes)

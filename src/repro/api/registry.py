@@ -23,6 +23,7 @@ Factories import their implementation modules lazily, so importing
 from __future__ import annotations
 
 import inspect
+import threading
 import warnings
 from dataclasses import dataclass
 from typing import Any, Callable
@@ -67,6 +68,10 @@ class MethodInfo:
 
 _REGISTRY: dict[str, MethodInfo] = {}
 _PLUGINS_LOADED = False
+#: Guards the one-shot plugin scan: registry lookups happen inside
+#: batch-engine workers (``_anonymize_one`` rebuilds anonymizers from
+#: specs), so concurrent first lookups must not race the scan.
+_PLUGINS_LOCK = threading.Lock()
 
 
 def register(
@@ -112,7 +117,17 @@ def _load_plugins() -> None:
     global _PLUGINS_LOADED
     if _PLUGINS_LOADED:
         return
-    _PLUGINS_LOADED = True
+    with _PLUGINS_LOCK:
+        if _PLUGINS_LOADED:
+            return
+        # Mark first (as the unlocked version did): a failing scan is
+        # not worth re-running on every registry miss.
+        _PLUGINS_LOADED = True
+        _load_plugins_locked()
+
+
+def _load_plugins_locked() -> None:
+    """The actual entry-point scan; callers hold ``_PLUGINS_LOCK``."""
     try:
         from importlib import metadata
 

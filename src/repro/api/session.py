@@ -36,8 +36,9 @@ class RunResult:
 
     #: The anonymized dataset D*.
     dataset: TrajectoryDataset
-    #: The pipeline's run report; ``None`` for methods outside the
-    #: frequency family (baselines publish no budget ledger).
+    #: The method's run report; ``None`` for methods that expose no
+    #: ``anonymize_with_report`` (the non-DP baselines publish no
+    #: budget ledger).
     report: AnonymizationReport | None
     #: The spec that produced this result (provenance; its
     #: :attr:`~repro.api.spec.MethodSpec.digest` identifies the
@@ -130,7 +131,10 @@ def run(
             started = time.perf_counter()
             dataset, report = front.anonymize_with_report(data)
             seconds = time.perf_counter() - started
-    elif isinstance(anonymizer, FrequencyAnonymizer):
+    elif hasattr(anonymizer, "anonymize_with_report"):
+        # Frequency pipelines and the DP baselines (DPT/AdaTrace) all
+        # return their report — with its composition ledger — alongside
+        # the result; duck-typed so plugins can opt in too.
         started = time.perf_counter()
         dataset, report = anonymizer.anonymize_with_report(data)
         seconds = time.perf_counter() - started

@@ -109,7 +109,7 @@ class LinkageAttack:
         for cell in cells[1:]:
             if cell != distinct[-1]:
                 distinct.append(cell)
-        return self._top_k(Counter(zip(distinct, distinct[1:])))
+        return self._top_k(Counter(zip(distinct, distinct[1:], strict=False)))
 
     def _profile(self, trajectory: Trajectory, kind: str, idf: dict | None) -> dict:
         if kind == "spatial":

@@ -58,7 +58,7 @@ class PathInferenceAttack:
 
         edge_keys: list[tuple[int, int]] = []
         previous: int | None = None
-        for point, node in zip(points, snapped):
+        for node in snapped:
             if node is None:
                 previous = None  # gap: restart route stitching
                 continue

@@ -20,10 +20,16 @@ from __future__ import annotations
 
 import random
 from collections import Counter, defaultdict
+from typing import TYPE_CHECKING
 
+from repro.core.accounting import CompositionLedger
 from repro.core.laplace import LaplaceMechanism
 from repro.geo.geometry import BBox, point_distance
 from repro.trajectory.model import Point, Trajectory, TrajectoryDataset
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
+    from repro.api.spec import MethodSpec
+    from repro.core.pipeline import AnonymizationReport
 
 Cell = tuple[int, int, int]  # (refined flag handled via third coordinate)
 
@@ -49,6 +55,23 @@ class AdaTrace:
         self.sampling_interval = sampling_interval
         self.seed = seed
         self._mechanism = LaplaceMechanism(epsilon / 4.0)
+
+    def config(self) -> dict:
+        """Constructor kwargs reproducing this configuration."""
+        return {
+            "epsilon": self.epsilon,
+            "top_grid": self.top_grid,
+            "refine_factor": self.refine_factor,
+            "refine_threshold": self.refine_threshold,
+            "sampling_interval": self.sampling_interval,
+            "seed": self.seed,
+        }
+
+    def spec(self) -> "MethodSpec":
+        """This configuration as a declarative, serializable spec."""
+        from repro.api.spec import MethodSpec
+
+        return MethodSpec("adatrace", self.config())
 
     # -- adaptive grid -------------------------------------------------------------
 
@@ -131,11 +154,40 @@ class AdaTrace:
         return max(counter)
 
     def anonymize(self, dataset: TrajectoryDataset) -> TrajectoryDataset:
+        result, _ = self.anonymize_with_report(dataset)
+        return result
+
+    def anonymize_with_report(
+        self, dataset: TrajectoryDataset
+    ) -> "tuple[TrajectoryDataset, AnonymizationReport]":
+        """Synthesize and return ``(dataset, report)`` together.
+
+        The report's :class:`CompositionLedger` records each of the
+        four features' Laplace draws next to where they happen, so
+        AdaTrace's even four-way budget split composes through the
+        same audit trail as the frequency pipeline's.
+        """
+        from repro.core.pipeline import AnonymizationReport
+
+        ledger = CompositionLedger()
+        report = AnonymizationReport(
+            epsilon_total=self.epsilon, accounting=ledger, spec=self.spec()
+        )
+        result = self._synthesize_dataset(dataset, ledger)
+        report.budget_ledger = [
+            (draw.label, draw.epsilon) for draw in ledger.draws
+        ]
+        return result, report
+
+    def _synthesize_dataset(
+        self, dataset: TrajectoryDataset, ledger: CompositionLedger
+    ) -> TrajectoryDataset:
         if len(dataset) == 0:
             return dataset.copy()
         rng = random.Random(self.seed)
         bbox = dataset.bbox()
         refined = self._build_grid(dataset, bbox, rng)
+        ledger.record("adatrace/grid_density", self.epsilon / 4.0)
 
         trips: Counter = Counter()
         lengths: Counter = Counter()
@@ -150,16 +202,19 @@ class AdaTrace:
                     cells.append(cell)
             trips[(cells[0], cells[-1])] += 1
             lengths[len(cells) // 8] += 1
-            for a, b in zip(cells, cells[1:]):
+            for a, b in zip(cells, cells[1:], strict=False):
                 mobility[a][b] += 1
 
         noisy_trips = self._noisy_counter(trips, rng)
+        ledger.record("adatrace/trip_distribution", self.epsilon / 4.0)
         noisy_lengths = self._noisy_counter(lengths, rng)
+        ledger.record("adatrace/trip_lengths", self.epsilon / 4.0)
         noisy_mobility = {
             cell: self._noisy_counter(counter, rng)
             for cell, counter in sorted(mobility.items())
         }
         noisy_mobility = {c: k for c, k in noisy_mobility.items() if k}
+        ledger.record("adatrace/mobility_model", self.epsilon / 4.0)
 
         synthetic = [
             self._synthesize(

@@ -18,10 +18,16 @@ from __future__ import annotations
 
 import random
 from collections import Counter, defaultdict
+from typing import TYPE_CHECKING
 
+from repro.core.accounting import CompositionLedger
 from repro.core.laplace import LaplaceMechanism
 from repro.geo.geometry import BBox
 from repro.trajectory.model import Point, Trajectory, TrajectoryDataset
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
+    from repro.api.spec import MethodSpec
+    from repro.core.pipeline import AnonymizationReport
 
 Cell = tuple[int, int]
 
@@ -51,6 +57,22 @@ class DPT:
         # the two tree depths.)
         self._mechanism = LaplaceMechanism(epsilon / 3.0)
         self._deep_mechanism = LaplaceMechanism(epsilon / 6.0)
+
+    def config(self) -> dict:
+        """Constructor kwargs reproducing this configuration."""
+        return {
+            "epsilon": self.epsilon,
+            "grid": self.grid,
+            "order": self.order,
+            "sampling_interval": self.sampling_interval,
+            "seed": self.seed,
+        }
+
+    def spec(self) -> "MethodSpec":
+        """This configuration as a declarative, serializable spec."""
+        from repro.api.spec import MethodSpec
+
+        return MethodSpec("dpt", self.config())
 
     # -- discretization ---------------------------------------------------------
 
@@ -87,6 +109,34 @@ class DPT:
         return noisy
 
     def anonymize(self, dataset: TrajectoryDataset) -> TrajectoryDataset:
+        result, _ = self.anonymize_with_report(dataset)
+        return result
+
+    def anonymize_with_report(
+        self, dataset: TrajectoryDataset
+    ) -> "tuple[TrajectoryDataset, AnonymizationReport]":
+        """Synthesize and return ``(dataset, report)`` together.
+
+        The report's :class:`CompositionLedger` records each model
+        feature's Laplace draw next to where it happens, so DPT's
+        budget split composes through the same audit trail as the
+        frequency pipeline's.
+        """
+        from repro.core.pipeline import AnonymizationReport
+
+        ledger = CompositionLedger()
+        report = AnonymizationReport(
+            epsilon_total=self.epsilon, accounting=ledger, spec=self.spec()
+        )
+        result = self._synthesize_dataset(dataset, ledger)
+        report.budget_ledger = [
+            (draw.label, draw.epsilon) for draw in ledger.draws
+        ]
+        return result, report
+
+    def _synthesize_dataset(
+        self, dataset: TrajectoryDataset, ledger: CompositionLedger
+    ) -> TrajectoryDataset:
         if len(dataset) == 0:
             return dataset.copy()
         rng = random.Random(self.seed)
@@ -103,16 +153,22 @@ class DPT:
             starts[cells[0]] += 1
             # Length histogram binned by 16 moves (keeps sensitivity 1).
             lengths[len(cells) // 16] += 1
-            for a, b in zip(cells, cells[1:]):
+            for a, b in zip(cells, cells[1:], strict=False):
                 transitions[a][b] += 1
             if self.order >= 2:
-                for a, b, c in zip(cells, cells[1:], cells[2:]):
+                for a, b, c in zip(cells, cells[1:], cells[2:], strict=False):
                     deep_transitions[(a, b)][c] += 1
 
         noisy_starts = self._noisy_counter(starts, rng)
+        ledger.record("dpt/start_counts", self.epsilon / 3.0)
         noisy_lengths = self._noisy_counter(lengths, rng)
+        ledger.record("dpt/trip_lengths", self.epsilon / 3.0)
         depth_mechanism = (
             self._deep_mechanism if self.order >= 2 else self._mechanism
+        )
+        ledger.record(
+            "dpt/transitions",
+            self.epsilon / (6.0 if self.order >= 2 else 3.0),
         )
         noisy_transitions = {
             cell: counter
@@ -124,6 +180,7 @@ class DPT:
         }
         noisy_deep: dict[tuple[Cell, Cell], Counter] = {}
         if self.order >= 2:
+            ledger.record("dpt/deep_transitions", self.epsilon / 6.0)
             noisy_deep = {
                 context: counter
                 for context, counter in (

@@ -10,6 +10,7 @@ Subcommands::
     repro attack     run the linkage attack between two datasets
     repro evaluate   compute utility metrics between two datasets
     repro experiment regenerate a table/figure of the paper
+    repro check      run the project's static-analysis rules
 
 Dataset arguments accept a planar CSV path, a preprocessed-artifact
 directory, or an ingested registry name (see ``docs/data.md``).
@@ -304,6 +305,47 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="REF",
         help="evaluate on an ingested real dataset (name or path) "
         "instead of the synthetic fleet",
+    )
+
+    check = sub.add_parser(
+        "check",
+        help="run the privacy/determinism/concurrency static analyzer "
+        "(see docs/analysis.md)",
+    )
+    check.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to analyze (default: src/repro, "
+        "falling back to the installed repro package)",
+    )
+    check.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="report format (json emits the machine-readable schema)",
+    )
+    check.add_argument(
+        "--baseline",
+        default=None,
+        metavar="JSON",
+        help="grandfathered-findings file (default: "
+        "tools/analysis_baseline.json when present; 'none' disables)",
+    )
+    check.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to grandfather every current finding",
+    )
+    check.add_argument(
+        "--rules",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    check.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules and exit",
     )
     return parser
 
@@ -609,6 +651,65 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _default_check_paths() -> list[str]:
+    """What ``repro check`` analyzes with no path arguments: the source
+    tree when run from a checkout, the installed package otherwise."""
+    import pathlib
+
+    source_tree = pathlib.Path("src/repro")
+    if source_tree.is_dir():
+        return [str(source_tree)]
+    import repro
+
+    return [str(pathlib.Path(repro.__file__).parent)]
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import AnalysisError, Baseline, all_rules, analyze_paths
+
+    if args.list_rules:
+        for registered in all_rules():
+            print(f"{registered.code}  {registered.name}: {registered.summary}")
+        return 0
+    codes = None
+    if args.rules:
+        codes = [code.strip() for code in args.rules.split(",") if code.strip()]
+    default_baseline = Path("tools/analysis_baseline.json")
+    if args.baseline and args.baseline.lower() == "none":
+        baseline_path = None
+    elif args.baseline:
+        baseline_path = Path(args.baseline)
+    else:
+        baseline_path = default_baseline if default_baseline.is_file() else None
+    paths = args.paths or _default_check_paths()
+    try:
+        if args.update_baseline:
+            # Grandfather what exists today: analyze without a baseline
+            # and write one absorbing every finding.
+            report = analyze_paths(paths, codes=codes)
+            target = baseline_path or default_baseline
+            Baseline.from_findings(
+                report.findings, reason="grandfathered by --update-baseline"
+            ).save(target)
+            print(
+                f"baseline updated: {target} "
+                f"({len(report.findings)} finding(s) grandfathered)"
+            )
+            return 0
+        report = analyze_paths(paths, baseline=baseline_path, codes=codes)
+    except (AnalysisError, KeyError, ValueError, OSError) as exc:
+        message = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
+        print(f"repro check: {message}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render_human())
+    return report.exit_code()
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -620,6 +721,7 @@ def main(argv: list[str] | None = None) -> int:
         "attack": _cmd_attack,
         "evaluate": _cmd_evaluate,
         "experiment": _cmd_experiment,
+        "check": _cmd_check,
     }
     try:
         return handlers[args.command](args)

@@ -103,7 +103,7 @@ class EditableTrajectory:
                 [(n.point.coord, n.next.point.coord) for n in starts],
                 owner=self.object_id,
             )
-            for node, sid in zip(starts, sids):
+            for node, sid in zip(starts, sids, strict=True):
                 node.out_sid = sid
                 self._node_by_sid[sid] = node
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import hashlib
 import math
+import os
 import random
 import threading
 import warnings
@@ -237,13 +238,16 @@ class FrequencyAnonymizer:
             trajectory_selection=trajectory_selection,
             candidate_source=candidate_source,
         )
+        # Disabled means None (the constructor rejects explicit zeros
+        # above), so the stage toggles key off the original arguments,
+        # never off the float's truthiness.
         self._global = (
-            GlobalTFMechanism(self.epsilon_global) if self.epsilon_global else None
+            None if epsilon_global is None else GlobalTFMechanism(self.epsilon_global)
         )
         self._local = (
-            LocalPFMechanism(self.epsilon_local, m=signature_size)
-            if self.epsilon_local
-            else None
+            None
+            if epsilon_local is None
+            else LocalPFMechanism(self.epsilon_local, m=signature_size)
         )
         #: Backing store of the deprecated :attr:`last_report` alias.
         self._last_report: AnonymizationReport | None = None
@@ -263,8 +267,8 @@ class FrequencyAnonymizer:
         cross a process boundary).
         """
         return {
-            "epsilon_global": self.epsilon_global or None,
-            "epsilon_local": self.epsilon_local or None,
+            "epsilon_global": None if self._global is None else self.epsilon_global,
+            "epsilon_local": None if self._local is None else self.epsilon_local,
             "signature_size": self.signature_size,
             "index_backend": self.index_backend,
             "search_strategy": self.search_strategy,
@@ -340,7 +344,10 @@ class FrequencyAnonymizer:
         is drift in the byte-identity contract).
         """
         if self.seed is None:
-            return random.getrandbits(64)
+            # Unseeded runs want fresh entropy; take it from the OS
+            # explicitly rather than the process-global Mersenne
+            # Twister, whose hidden state seeded runs must never touch.
+            return int.from_bytes(os.urandom(8), "big")
         return derive_seed("run", self.seed, call_index)
 
     def anonymize(self, dataset: TrajectoryDataset) -> TrajectoryDataset:

@@ -255,6 +255,10 @@ class WavePlanner:
         #: Guards the one counter simulations update from wave_map
         #: worker threads (every other stat is driver-thread-only).
         self._stats_lock = threading.Lock()
+        #: Guards the lazy containment-map build: simulations running
+        #: under wave_map all call :meth:`_containing_map`, and the
+        #: first one in a phase would otherwise race the build.
+        self._containing_lock = threading.Lock()
         #: Simulations not admitted into the wave they were computed
         #: for. A cached plan stays valid as long as every executed
         #: wave since keeps passing the conflict test against it —
@@ -342,7 +346,9 @@ class WavePlanner:
         """
         missing = [op for op in chunk if op[0] not in self._cache]
         if missing:
-            for op, plan in zip(missing, self._simulate_chunk(kind, missing)):
+            for op, plan in zip(
+                missing, self._simulate_chunk(kind, missing), strict=True
+            ):
                 self._cache[op[0]] = plan
         return iter([self._cache[loc] for loc, _ in chunk])
 
@@ -371,7 +377,8 @@ class WavePlanner:
                 self.shared_index, [loc for loc, _ in chunk], k, self.strategy
             )
             jobs = [
-                (op, hits, k) for op, hits in zip(chunk, hit_lists)
+                (op, hits, k)
+                for op, hits in zip(chunk, hit_lists, strict=True)
             ]
             simulate = self._simulate_increase
         if self.wave_map is None or len(jobs) <= 1:
@@ -382,15 +389,21 @@ class WavePlanner:
         """The phase's inverted containment map, built on first use.
 
         One pass over every trajectory's distinct locations replaces a
-        full-dataset membership scan per simulation.
+        full-dataset membership scan per simulation. Double-checked
+        under a lock: the driving thread pre-builds it per chunk, but
+        wave_map workers may still race a cold phase entry.
         """
-        if self._containing_by_loc is None:
-            mapping: dict[LocationKey, list[str]] = {}
-            for object_id, editable in self.editables.items():
-                for loc in editable.locations():
-                    mapping.setdefault(loc, []).append(object_id)
-            self._containing_by_loc = mapping
-        return self._containing_by_loc
+        existing = self._containing_by_loc
+        if existing is not None:
+            return existing
+        with self._containing_lock:
+            if self._containing_by_loc is None:
+                mapping: dict[LocationKey, list[str]] = {}
+                for object_id, editable in self.editables.items():
+                    for loc in editable.locations():
+                        mapping.setdefault(loc, []).append(object_id)
+                self._containing_by_loc = mapping
+            return self._containing_by_loc
 
     def _simulate_decrease(self, op: PendingOp) -> PlannedOp:
         """Rank complete-deletion costs exactly like the serial loop."""

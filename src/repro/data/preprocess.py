@@ -122,7 +122,7 @@ def split_gaps(points: list[Point], threshold_s: float) -> list[list[Point]]:
     if not points:
         return []
     trips: list[list[Point]] = [[points[0]]]
-    for previous, point in zip(points, points[1:]):
+    for previous, point in zip(points, points[1:], strict=False):
         if point.t - previous.t > threshold_s:
             trips.append([point])
         else:

@@ -78,7 +78,7 @@ def _run_local_shard(shard: _LocalShard) -> list[LocalResult]:
         strategy=shard.search_strategy,
     )
     results: list[LocalResult] = []
-    for trajectory, seed in zip(shard.trajectories, shard.seeds):
+    for trajectory, seed in zip(shard.trajectories, shard.seeds, strict=True):
         rng = random.Random(seed)
         perturbation = mechanism.perturb_trajectory(
             trajectory, shard.signature_index, rng

@@ -30,7 +30,7 @@ def render_chart(
     if width < 10 or height < 4:
         raise ValueError("chart too small to render")
     points: list[tuple[int, float, str]] = []
-    for index, (name, values) in enumerate(series.items()):
+    for index, (_name, values) in enumerate(series.items()):
         marker = MARKERS[index % len(MARKERS)]
         for xi, value in enumerate(values):
             if value is None:

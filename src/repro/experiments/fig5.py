@@ -283,12 +283,14 @@ def format_timings(
     total = [
         g + local
         for g, local in zip(
-            results["modification"]["Global"], results["modification"]["Local"]
+            results["modification"]["Global"],
+            results["modification"]["Local"],
+            strict=True,
         )
     ]
     share = [
         g / t if t > 0 else 0.0
-        for g, t in zip(results["modification"]["Global"], total)
+        for g, t in zip(results["modification"]["Global"], total, strict=True)
     ]
     lines.append(
         f"{'G-share':<8s}" + "".join(f"{v:10.2%}" for v in share)
@@ -308,7 +310,7 @@ def format_timings(
         if reference and waved:
             speedups = [
                 r / w if w > 0 else float("inf")
-                for r, w in zip(reference, waved)
+                for r, w in zip(reference, waved, strict=True)
             ]
             lines.append(
                 f"{'wave speedup':<16s}"

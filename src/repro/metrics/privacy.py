@@ -52,7 +52,7 @@ def mutual_information(
     if len(original) != len(anonymized):
         raise ValueError("datasets must contain the same number of objects")
     joint: Counter = Counter()
-    for to, ta in zip(original, anonymized):
+    for to, ta in zip(original, anonymized, strict=True):
         joint.update(_aligned_cells(to, ta, cell_size))
     total = sum(joint.values())
     if total == 0:

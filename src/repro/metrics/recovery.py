@@ -111,7 +111,7 @@ def score_recovery(
     if len(recovery.results) != len(original):
         raise ValueError("recovery output does not align with the original dataset")
     precisions, recalls, fs, rmfs, accuracies = [], [], [], [], []
-    for trajectory, result in zip(original, recovery.results):
+    for trajectory, result in zip(original, recovery.results, strict=True):
         truth = truth_routes.get(trajectory.object_id, [])
         p, r, f, rmf = _route_scores(network, truth, result.edge_keys)
         precisions.append(p)

@@ -87,7 +87,7 @@ def information_loss(
         raise ValueError("cap must be positive")
     total = 0.0
     count = 0
-    for to, ta in zip(original, anonymized):
+    for to, ta in zip(original, anonymized, strict=True):
         oracle = _TrajectoryDistanceOracle(ta)
         for point in to.points[::sample_stride]:
             d = oracle.distance(point.coord)

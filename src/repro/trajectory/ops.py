@@ -55,7 +55,7 @@ def simplify(trajectory: Trajectory, tolerance: float) -> Trajectory:
             stack.append((worst_index, end))
     return Trajectory(
         trajectory.object_id,
-        [p for p, kept in zip(points, keep) if kept],
+        [p for p, kept in zip(points, keep, strict=True) if kept],
     )
 
 

@@ -116,7 +116,7 @@ class TestApportion:
     def test_capped_overflow_redistributes(self):
         shares = apportion(6, [10, 1, 1], [2, 4, 4])
         assert sum(shares) == 6
-        assert all(s <= c for s, c in zip(shares, [2, 4, 4]))
+        assert all(s <= c for s, c in zip(shares, [2, 4, 4], strict=True))
 
     def test_zero_weights_fill_in_order(self):
         assert apportion(3, [0, 0], [2, 2]) == [2, 1]

@@ -1,0 +1,621 @@
+"""Tests for the static analyzer (repro.analysis).
+
+Every rule gets a positive fixture (a seeded violation it must catch)
+and a negative fixture (idiomatic code it must not flag), driven
+through :func:`analyze_source`. Suppression, the baseline ratchet, the
+JSON report schema, and the ``repro check`` exit-code contract
+(0 clean / 1 findings / 2 internal error) are covered end to end.
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    AnalysisError,
+    Baseline,
+    BaselineEntry,
+    Finding,
+    all_rules,
+    analyze_paths,
+    analyze_source,
+    rules_for,
+)
+from repro.cli import main
+
+
+def check(source: str, codes=None, **kwargs):
+    return analyze_source(textwrap.dedent(source), codes=codes, **kwargs)
+
+
+def codes_of(report) -> list[str]:
+    return [finding.code for finding in report.findings]
+
+
+class TestRegistry:
+    def test_all_five_rules_registered(self):
+        assert [r.code for r in all_rules()] == [
+            "DET001", "DET002", "DP001", "EPS001", "RACE001",
+        ]
+
+    def test_every_rule_documented(self):
+        for rule in all_rules():
+            assert rule.name
+            assert rule.summary
+            assert rule.rationale
+            assert rule.example
+
+    def test_rules_for_subset(self):
+        assert [r.code for r in rules_for(["DP001"])] == ["DP001"]
+
+    def test_rules_for_unknown_code_raises(self):
+        with pytest.raises(KeyError):
+            rules_for(["NOPE999"])
+
+
+class TestDP001:
+    def test_unledgered_class_draw_flagged(self):
+        report = check(
+            """
+            class Stage:
+                def apply(self, count, rng):
+                    return self.mechanism.perturb_count(count, rng)
+            """,
+            codes=["DP001"],
+        )
+        assert codes_of(report) == ["DP001"]
+        assert "class Stage" in report.findings[0].message
+
+    def test_ledgered_class_draw_clean(self):
+        report = check(
+            """
+            class Stage:
+                def apply(self, ledger, count, rng):
+                    ledger.record("stage/count", 1.0)
+                    return self.mechanism.perturb_count(count, rng)
+            """,
+            codes=["DP001"],
+        )
+        assert report.clean
+
+    def test_record_parallel_counts_as_ledgered(self):
+        report = check(
+            """
+            class Stage:
+                def apply(self, ledger, count, rng):
+                    ledger.record_parallel("local", "stage", 1.0, scope=1)
+                    return self.mechanism.perturb(count, rng)
+            """,
+            codes=["DP001"],
+        )
+        assert report.clean
+
+    def test_module_level_qualified_draw_flagged(self):
+        report = check(
+            """
+            from repro.core.laplace import laplace_noise
+
+            def jitter(scale, rng):
+                return laplace_noise(scale, rng)
+            """,
+            codes=["DP001"],
+        )
+        assert codes_of(report) == ["DP001"]
+        assert "module scope" in report.findings[0].message
+
+    def test_sanctioned_module_exempt(self):
+        report = check(
+            """
+            class LaplaceMechanism:
+                def perturb(self, value, rng):
+                    return value + self.draw.laplace(self.scale, rng)
+            """,
+            codes=["DP001"],
+            module="repro.core.laplace",
+        )
+        assert report.clean
+
+
+class TestDET001:
+    def test_stdlib_global_rng_flagged(self):
+        report = check(
+            """
+            import random
+
+            def shuffle(items):
+                random.shuffle(items)
+            """,
+            codes=["DET001"],
+        )
+        assert codes_of(report) == ["DET001"]
+
+    def test_numpy_legacy_rng_flagged_through_alias(self):
+        report = check(
+            """
+            import numpy as np
+
+            def noise(n):
+                return np.random.normal(size=n)
+            """,
+            codes=["DET001"],
+        )
+        assert codes_of(report) == ["DET001"]
+        assert "np.random.normal" in report.findings[0].message
+
+    def test_seeded_constructors_clean(self):
+        report = check(
+            """
+            import random
+
+            import numpy as np
+
+            def make(seed):
+                return random.Random(seed), np.random.default_rng(seed)
+            """,
+            codes=["DET001"],
+        )
+        assert report.clean
+
+    def test_instance_method_calls_clean(self):
+        report = check(
+            """
+            def draw(rng):
+                return rng.random()
+            """,
+            codes=["DET001"],
+        )
+        assert report.clean
+
+
+class TestDET002:
+    def test_wall_clock_flagged(self):
+        report = check(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+            codes=["DET002"],
+        )
+        assert codes_of(report) == ["DET002"]
+
+    def test_datetime_now_flagged_through_from_import(self):
+        report = check(
+            """
+            from datetime import datetime
+
+            def stamp():
+                return datetime.now()
+            """,
+            codes=["DET002"],
+        )
+        assert codes_of(report) == ["DET002"]
+
+    def test_perf_counter_allowed(self):
+        report = check(
+            """
+            import time
+
+            def measure():
+                return time.perf_counter()
+            """,
+            codes=["DET002"],
+        )
+        assert report.clean
+
+    def test_set_iteration_flagged(self):
+        report = check(
+            """
+            def walk(a, b):
+                for loc in {a, b}:
+                    yield loc
+            """,
+            codes=["DET002"],
+        )
+        assert codes_of(report) == ["DET002"]
+
+    def test_comprehension_over_set_call_flagged(self):
+        report = check(
+            """
+            def dedupe(items):
+                return [x for x in set(items)]
+            """,
+            codes=["DET002"],
+        )
+        assert codes_of(report) == ["DET002"]
+
+    def test_sorted_set_iteration_clean(self):
+        report = check(
+            """
+            def walk(items):
+                for loc in sorted(set(items)):
+                    yield loc
+            """,
+            codes=["DET002"],
+        )
+        assert report.clean
+
+
+class TestEPS001:
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "epsilon == 0",
+            "eps != 0.0",
+            "0 == self.epsilon_local",
+        ],
+    )
+    def test_zero_comparison_flagged(self, line):
+        report = check(f"def f(epsilon, eps, self): return ({line})",
+                       codes=["EPS001"])
+        assert codes_of(report) == ["EPS001"]
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "def f(eps):\n    if eps:\n        return 1",
+            "def f(eps):\n    return 1 if eps else 2",
+            "def f(self):\n    if not self.epsilon_global:\n        return 0",
+            "def f(eps, other):\n    return eps and other",
+        ],
+    )
+    def test_truthiness_flagged(self, snippet):
+        report = check(snippet, codes=["EPS001"])
+        assert codes_of(report) == ["EPS001"]
+
+    def test_is_none_check_clean(self):
+        report = check(
+            """
+            def f(epsilon):
+                if epsilon is not None:
+                    return epsilon
+            """,
+            codes=["EPS001"],
+        )
+        assert report.clean
+
+    def test_magnitude_comparison_clean(self):
+        report = check("def f(epsilon): return epsilon > 0",
+                       codes=["EPS001"])
+        assert report.clean
+
+    def test_non_epsilon_name_clean(self):
+        report = check("def f(radius): return radius == 0",
+                       codes=["EPS001"])
+        assert report.clean
+
+
+class TestRACE001:
+    def test_unlocked_self_write_in_pool_worker_flagged(self):
+        report = check(
+            """
+            class Engine:
+                def run(self, jobs):
+                    return parallel_map(self._work, jobs)
+
+                def _work(self, job):
+                    self.cache = job
+                    return job
+            """,
+            codes=["RACE001"],
+        )
+        assert codes_of(report) == ["RACE001"]
+        assert "self.cache" in report.findings[0].message
+
+    def test_locked_write_clean(self):
+        report = check(
+            """
+            class Engine:
+                def run(self, jobs):
+                    return parallel_map(self._work, jobs)
+
+                def _work(self, job):
+                    with self._lock:
+                        self.cache = job
+                    return job
+            """,
+            codes=["RACE001"],
+        )
+        assert report.clean
+
+    def test_executor_submit_receiver_detected(self):
+        report = check(
+            """
+            class Engine:
+                def run(self, jobs):
+                    return [self.pool.submit(self._work, j) for j in jobs]
+
+                def _work(self, job):
+                    self.stats.done += 1
+                    return job
+            """,
+            codes=["RACE001"],
+        )
+        assert codes_of(report) == ["RACE001"]
+
+    def test_transitive_callee_flagged(self):
+        report = check(
+            """
+            class Engine:
+                def run(self, jobs):
+                    return parallel_map(self._work, jobs)
+
+                def _work(self, job):
+                    return self._finish(job)
+
+                def _finish(self, job):
+                    self.last = job
+                    return job
+            """,
+            codes=["RACE001"],
+        )
+        assert codes_of(report) == ["RACE001"]
+        assert "Engine._finish" in report.findings[0].message
+
+    def test_unreachable_write_clean(self):
+        report = check(
+            """
+            class Engine:
+                def configure(self, option):
+                    self.option = option
+            """,
+            codes=["RACE001"],
+        )
+        assert report.clean
+
+    def test_cross_module_global_write_flagged(self, tmp_path):
+        (tmp_path / "counters.py").write_text(textwrap.dedent(
+            """
+            TOTAL = 0
+
+            def bump(job):
+                global TOTAL
+                TOTAL += 1
+                return job
+            """
+        ))
+        (tmp_path / "driver.py").write_text(textwrap.dedent(
+            """
+            from counters import bump
+
+            def run(jobs):
+                return parallel_map(bump, jobs)
+            """
+        ))
+        report = analyze_paths([tmp_path], root=tmp_path, codes=["RACE001"])
+        assert codes_of(report) == ["RACE001"]
+        assert report.findings[0].path == "counters.py"
+        assert "TOTAL" in report.findings[0].message
+
+
+class TestSuppression:
+    VIOLATION = """
+    import random
+
+    def draw():
+        return random.random()  # repro: noqa[DET001]
+    """
+
+    def test_coded_noqa_suppresses(self):
+        report = check(self.VIOLATION, codes=["DET001"])
+        assert report.clean
+        assert [f.code for f in report.suppressed] == ["DET001"]
+
+    def test_bare_noqa_suppresses_everything(self):
+        report = check(
+            """
+            import random
+
+            def draw():
+                return random.random()  # repro: noqa
+            """,
+            codes=["DET001"],
+        )
+        assert report.clean
+        assert len(report.suppressed) == 1
+
+    def test_wrong_code_does_not_suppress(self):
+        report = check(
+            """
+            import random
+
+            def draw():
+                return random.random()  # repro: noqa[DP001]
+            """,
+            codes=["DET001"],
+        )
+        assert codes_of(report) == ["DET001"]
+
+    def test_code_match_case_insensitive(self):
+        report = check(
+            """
+            import random
+
+            def draw():
+                return random.random()  # repro: noqa[det001]
+            """,
+            codes=["DET001"],
+        )
+        assert report.clean
+
+
+class TestBaseline:
+    VIOLATION = """
+    import random
+
+    def draw():
+        return random.random()
+    """
+
+    def test_from_findings_absorbs_everything(self):
+        first = check(self.VIOLATION, codes=["DET001"])
+        baseline = Baseline.from_findings(first.findings)
+        second = check(self.VIOLATION, codes=["DET001"], baseline=baseline)
+        assert second.clean
+        assert len(second.baselined) == 1
+        assert not second.stale_baseline
+
+    def test_survives_line_drift(self):
+        baseline = Baseline.from_findings(
+            check(self.VIOLATION, codes=["DET001"]).findings
+        )
+        shifted = "# a new leading comment\n\n" + textwrap.dedent(self.VIOLATION)
+        report = analyze_source(shifted, codes=["DET001"], baseline=baseline)
+        assert report.clean
+        assert len(report.baselined) == 1
+
+    def test_fixed_violation_marks_entry_stale(self):
+        baseline = Baseline.from_findings(
+            check(self.VIOLATION, codes=["DET001"]).findings
+        )
+        report = check("def draw(rng): return rng.random()",
+                       codes=["DET001"], baseline=baseline)
+        assert report.clean
+        assert len(report.stale_baseline) == 1
+        assert report.stale_baseline[0].code == "DET001"
+
+    def test_count_caps_absorption(self):
+        doubled = """
+        import random
+
+        def draw():
+            return random.random()
+
+        def draw_again():
+            return random.random()
+        """
+        entry = BaselineEntry(
+            code="DET001",
+            path="<snippet>.py",
+            snippet="return random.random()",
+            count=1,
+        )
+        report = check(doubled, codes=["DET001"],
+                       baseline=Baseline(entries=[entry]))
+        # Two identical snippets, budget for one: the second stays active.
+        assert len(report.baselined) == 1
+        assert len(report.findings) == 1
+
+    def test_save_load_round_trip(self, tmp_path):
+        baseline = Baseline.from_findings(
+            check(self.VIOLATION, codes=["DET001"]).findings,
+            reason="legacy draw",
+        )
+        target = tmp_path / "baseline.json"
+        baseline.save(target)
+        assert Baseline.load(target) == baseline
+
+    def test_load_rejects_unknown_version(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(ValueError):
+            Baseline.load(target)
+
+
+class TestReportSchema:
+    def test_json_shape(self):
+        report = check(TestBaseline.VIOLATION, codes=["DET001"])
+        payload = report.to_dict()
+        assert set(payload) == {
+            "version", "files", "codes", "findings", "suppressed",
+            "baselined", "stale_baseline", "clean",
+        }
+        assert payload["version"] == 1
+        assert payload["files"] == 1
+        assert payload["codes"] == ["DET001"]
+        assert payload["clean"] is False
+        (finding,) = payload["findings"]
+        assert set(finding) == {
+            "code", "path", "line", "col", "message", "snippet",
+        }
+        assert Finding.from_dict(finding) == report.findings[0]
+
+    def test_render_human_mentions_location_and_code(self):
+        report = check(TestBaseline.VIOLATION, codes=["DET001"])
+        text = report.render_human()
+        assert "<snippet>.py:5:12: DET001" in text
+        assert "1 finding(s)" in text
+
+    def test_syntax_error_raises_analysis_error(self):
+        with pytest.raises(AnalysisError):
+            analyze_source("def broken(:\n")
+
+
+class TestCheckCLI:
+    """The `repro check` exit-code contract, end to end."""
+
+    def clean_file(self, tmp_path):
+        path = tmp_path / "clean.py"
+        path.write_text("def double(x):\n    return 2 * x\n")
+        return path
+
+    def dirty_file(self, tmp_path):
+        path = tmp_path / "dirty.py"
+        path.write_text(
+            "import random\n\n\ndef draw():\n    return random.random()\n"
+        )
+        return path
+
+    def test_exit_zero_on_clean_tree(self, tmp_path, capsys):
+        code = main(["check", str(self.clean_file(tmp_path)),
+                     "--baseline", "none"])
+        assert code == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_exit_one_on_findings(self, tmp_path, capsys):
+        code = main(["check", str(self.dirty_file(tmp_path)),
+                     "--baseline", "none"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "DET001" in out
+        assert "random.random" in out
+
+    def test_exit_two_on_syntax_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        code = main(["check", str(bad), "--baseline", "none"])
+        assert code == 2
+        assert "syntax error" in capsys.readouterr().err
+
+    def test_exit_two_on_unknown_rule(self, tmp_path, capsys):
+        code = main(["check", str(self.clean_file(tmp_path)),
+                     "--baseline", "none", "--rules", "NOPE999"])
+        assert code == 2
+        assert "NOPE999" in capsys.readouterr().err
+
+    def test_json_format_machine_readable(self, tmp_path, capsys):
+        code = main(["check", str(self.dirty_file(tmp_path)),
+                     "--baseline", "none", "--format", "json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["clean"] is False
+        assert payload["findings"][0]["code"] == "DET001"
+
+    def test_list_rules(self, capsys):
+        assert main(["check", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("DP001", "DET001", "DET002", "RACE001", "EPS001"):
+            assert code in out
+
+    def test_rules_flag_restricts(self, tmp_path, capsys):
+        code = main(["check", str(self.dirty_file(tmp_path)),
+                     "--baseline", "none", "--rules", "DP001"])
+        assert code == 0  # the DET001 violation is outside the rule set
+        capsys.readouterr()
+
+    def test_update_baseline_then_clean_then_stale(self, tmp_path, capsys):
+        dirty = self.dirty_file(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main(["check", str(dirty), "--baseline", str(baseline),
+                     "--update-baseline"]) == 0
+        assert "1 finding(s) grandfathered" in capsys.readouterr().out
+        # Grandfathered: same tree now exits 0, finding is baselined.
+        assert main(["check", str(dirty), "--baseline", str(baseline)]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+        # Fix the violation: still 0, but the entry is reported stale.
+        dirty.write_text("def draw(rng):\n    return rng.random()\n")
+        assert main(["check", str(dirty), "--baseline", str(baseline)]) == 0
+        assert "stale baseline entry" in capsys.readouterr().out

@@ -315,7 +315,7 @@ class TestRun:
         spec = MethodSpec("gl", {"epsilon": 1.0, "signature_size": 3, "seed": 21})
         result = run(spec, fleet.dataset)
         assert coords_of(result.dataset) == coords_of(legacy)
-        for a, b in zip(legacy, result.dataset):
+        for a, b in zip(legacy, result.dataset, strict=True):
             assert [p.t for p in a] == [p.t for p in b]
 
     def test_byte_identical_to_legacy_batch(self, fleet):

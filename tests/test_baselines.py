@@ -66,7 +66,7 @@ class TestRadiusSignatureClosure:
         sc = SignatureClosure(signature_size=3)
         r_rsc = rsc.anonymize(fleet.dataset)
         r_sc = sc.anonymize(fleet.dataset)
-        for a, b in zip(r_rsc, r_sc):
+        for a, b in zip(r_rsc, r_sc, strict=True):
             assert len(a) == len(b)
 
     def test_larger_radius_removes_more(self, fleet):
@@ -123,7 +123,7 @@ class TestW4M:
 
     def test_preserves_ids_and_suppresses_unmatchable(self, fleet):
         result = W4M(k=4, delta=400.0).anonymize(fleet.dataset)
-        for original, published in zip(fleet.dataset, result):
+        for original, published in zip(fleet.dataset, result, strict=True):
             assert original.object_id == published.object_id
             assert len(published) <= len(original)
         # W4M suppresses rather than publishing everything verbatim.
@@ -135,7 +135,7 @@ class TestW4M:
         result = W4M(k=4, delta=400.0).anonymize(fleet.dataset)
         unchanged = 0
         kept = 0
-        for original, published in zip(fleet.dataset, result):
+        for original, published in zip(fleet.dataset, result, strict=True):
             original_coords = {p.coord for p in original}
             for p in published:
                 kept += 1
@@ -238,7 +238,7 @@ class TestDPT:
     def test_deterministic_with_seed(self, fleet):
         a = DPT(epsilon=1.0, grid=12, seed=5).anonymize(fleet.dataset)
         b = DPT(epsilon=1.0, grid=12, seed=5).anonymize(fleet.dataset)
-        for ta, tb in zip(a, b):
+        for ta, tb in zip(a, b, strict=True):
             assert [p.coord for p in ta] == [p.coord for p in tb]
 
     def test_points_at_cell_centres(self, fleet):
@@ -262,7 +262,7 @@ class TestDPT:
         assert len(order2) == len(fleet.dataset)
         assert any(
             [p.coord for p in a] != [p.coord for p in b]
-            for a, b in zip(order1, order2)
+            for a, b in zip(order1, order2, strict=True)
         )
 
     def test_order2_respects_trigram_context(self):
@@ -318,7 +318,7 @@ class TestAdaTrace:
     def test_deterministic_with_seed(self, fleet):
         a = AdaTrace(epsilon=1.0, seed=3).anonymize(fleet.dataset)
         b = AdaTrace(epsilon=1.0, seed=3).anonymize(fleet.dataset)
-        for ta, tb in zip(a, b):
+        for ta, tb in zip(a, b, strict=True):
             assert [p.coord for p in ta] == [p.coord for p in tb]
 
     def test_trips_end_at_sampled_destination(self, fleet):

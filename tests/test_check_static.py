@@ -1,0 +1,85 @@
+"""Tests for the unified static gate (tools/check_static.py)."""
+
+import importlib.util
+import json
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def check_static():
+    sys.path.insert(0, str(REPO_ROOT / "tools"))
+    spec = importlib.util.spec_from_file_location(
+        "check_static", REPO_ROOT / "tools" / "check_static.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["check_static"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestRepoIsClean:
+    def test_full_gate_passes(self, check_static, capsys):
+        assert check_static.main([]) == 0
+        out = capsys.readouterr().out
+        assert "static gate clean" in out
+        for section in ("analysis", "api", "docs"):
+            assert f"[   ok] {section}:" in out
+
+    def test_json_mode_schema(self, check_static, capsys):
+        assert check_static.main(["--json", "analysis"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["clean"] is True
+        (section,) = payload["sections"]
+        assert set(section) == {
+            "name", "clean", "problems", "warnings", "summary", "error",
+        }
+        assert section["name"] == "analysis"
+
+    def test_unknown_section_rejected(self, check_static):
+        with pytest.raises(SystemExit) as excinfo:
+            check_static.main(["frobnicate"])
+        assert excinfo.value.code == 2
+
+
+class TestInjectedViolation:
+    """The acceptance gate: an injected unledgered draw must fail CI."""
+
+    def inject(self, check_static, monkeypatch, tmp_path, source):
+        tree = tmp_path / "repro_fixture"
+        tree.mkdir()
+        (tree / "leaky.py").write_text(textwrap.dedent(source))
+        monkeypatch.setattr(check_static, "SOURCE_TREE", tree)
+        monkeypatch.setattr(check_static, "BASELINE", tmp_path / "missing.json")
+
+    def test_unledgered_draw_fails_gate(
+        self, check_static, monkeypatch, tmp_path, capsys
+    ):
+        self.inject(
+            check_static, monkeypatch, tmp_path,
+            """
+            class LeakyStage:
+                def apply(self, count, rng):
+                    return self.mechanism.perturb_count(count, rng)
+            """,
+        )
+        assert check_static.main(["analysis"]) == 1
+        out = capsys.readouterr().out
+        assert "DP001" in out
+        assert "[ FAIL] analysis:" in out
+        assert "static gate failed: analysis" in out
+
+    def test_checker_crash_exits_two(
+        self, check_static, monkeypatch, tmp_path, capsys
+    ):
+        self.inject(check_static, monkeypatch, tmp_path, "def broken(:\n")
+        assert check_static.main(["analysis"]) == 2
+        out = capsys.readouterr().out
+        assert "[ERROR] analysis:" in out
+        assert "internal error" in out

@@ -122,7 +122,7 @@ class TestRegistry:
         loaded = registry.load("fleet")
         source = read_csv(planar_csv)
         assert len(loaded) == len(source)
-        for a, b in zip(loaded, source):
+        for a, b in zip(loaded, source, strict=True):
             assert a.object_id == b.object_id
             assert len(a) == len(b)
 
@@ -269,7 +269,7 @@ class TestIngestThenAnonymize:
         )
         serial = GL(epsilon=1.0, signature_size=3, seed=5)
         expected = [serial.anonymize(dataset) for _ in range(2)]
-        for (got, _), want in zip(from_stream, expected):
+        for (got, _), want in zip(from_stream, expected, strict=True):
             assert [
                 [p.coord for p in t] for t in got
             ] == [[p.coord for p in t] for t in want]

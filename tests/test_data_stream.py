@@ -58,7 +58,7 @@ class TestStreamCsvRows:
         streamed = list(stream_csv(path))
         loaded = read_csv(path)
         assert [t.object_id for t in streamed] == [t.object_id for t in loaded]
-        for streamed_t, loaded_t in zip(streamed, loaded):
+        for streamed_t, loaded_t in zip(streamed, loaded, strict=True):
             assert [p.coord for p in streamed_t] == [p.coord for p in loaded_t]
 
     def test_bounded_memory_iteration(self):
@@ -200,7 +200,7 @@ class TestProjection:
             [("t", r.t, r.lat, r.lon) for r in records], origin=self.ORIGIN
         )
         assert len(streamed) == 1
-        for p, q in zip(streamed[0], reference[0]):
+        for p, q in zip(streamed[0], reference[0], strict=True):
             assert p.coord == pytest.approx(q.coord, abs=1e-9)
             assert p.t == q.t
 

@@ -129,7 +129,7 @@ class TestBatchAnonymizer:
         batched = engine.anonymize(fleet.dataset)
         assert coords_of(batched) == coords_of(serial)
         # Timestamps too: truly byte-identical trajectories.
-        for a, b in zip(serial, batched):
+        for a, b in zip(serial, batched, strict=True):
             assert [p.t for p in a] == [p.t for p in b]
 
     def test_report_identical_to_serial(self, fleet):

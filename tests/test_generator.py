@@ -28,14 +28,14 @@ class TestGenerateFleet:
         config = FleetConfig(n_objects=3, points_per_trajectory=50, rows=8, cols=8, seed=5)
         a = generate_fleet(config)
         b = generate_fleet(config)
-        for ta, tb in zip(a.dataset, b.dataset):
+        for ta, tb in zip(a.dataset, b.dataset, strict=True):
             assert [p.coord for p in ta] == [p.coord for p in tb]
             assert [p.t for p in ta] == [p.t for p in tb]
 
     def test_timestamps_strictly_increasing(self, fleet):
         for trajectory in fleet.dataset:
             times = [p.t for p in trajectory]
-            assert all(t1 < t2 for t1, t2 in zip(times, times[1:]))
+            assert all(t1 < t2 for t1, t2 in zip(times, times[1:], strict=False))
 
     def test_point_spacing_near_target(self, fleet):
         stats = fleet.dataset.stats()
@@ -61,7 +61,7 @@ class TestGenerateFleet:
         n = len(fleet.dataset)
         low_tf = 0
         total = 0
-        for object_id, anchors in fleet.anchors.items():
+        for anchors in fleet.anchors.values():
             for anchor in anchors:
                 coord = fleet.network.node_coord(anchor)
                 key = (float(round(coord[0])), float(round(coord[1])))
@@ -100,8 +100,8 @@ class TestGenerateFleet:
         noisy_fleet = generate_fleet(noisy)
         moved = sum(
             1
-            for ta, tb in zip(clean_fleet.dataset, noisy_fleet.dataset)
-            for p, q in zip(ta, tb)
+            for ta, tb in zip(clean_fleet.dataset, noisy_fleet.dataset, strict=True)
+            for p, q in zip(ta, tb, strict=True)
             if p.coord != q.coord
         )
         assert moved > 0

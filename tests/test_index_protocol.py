@@ -161,7 +161,7 @@ class TestBulkInsert:
             )
         sids = bulk_insert(index, pairs, owner="bulk")
         assert sids == sorted(sids)  # allocation order preserved
-        for sid, (a, b) in zip(sids, pairs):
+        for sid, (a, b) in zip(sids, pairs, strict=True):
             segment = index.segment(sid)
             assert (segment.a, segment.b, segment.owner) == (a, b, "bulk")
         # Searches over a bulk-loaded index match the linear reference

@@ -28,10 +28,10 @@ class TestCsvRoundTrip:
         write_csv(dataset, path)
         loaded = read_csv(path)
         assert len(loaded) == 2
-        for original, restored in zip(dataset, loaded):
+        for original, restored in zip(dataset, loaded, strict=True):
             assert original.object_id == restored.object_id
             assert len(original) == len(restored)
-            for p, q in zip(original, restored):
+            for p, q in zip(original, restored, strict=True):
                 assert p.coord == pytest.approx(q.coord, abs=1e-3)
                 assert p.t == pytest.approx(q.t, abs=1e-3)
 

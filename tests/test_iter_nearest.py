@@ -63,7 +63,7 @@ class TestIterNearest:
             got = list(index.iter_nearest(q))
             want = linear_knn(segments, q, len(segments))
             assert [sid for sid, _ in got] == [sid for sid, _ in want], q
-            for (_, d1), (_, d2) in zip(got, want):
+            for (_, d1), (_, d2) in zip(got, want, strict=True):
                 assert d1 == pytest.approx(d2, abs=1e-9)
 
     def test_distances_nondecreasing(self, index):

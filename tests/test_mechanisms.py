@@ -177,6 +177,6 @@ class TestLocalPFMechanism:
         index = SignatureExtractor(m=2).extract(ds)
         results = mech.perturb(ds, index, random.Random(seed))
         for result in results.values():
-            for loc, value in result.perturbed.items():
+            for value in result.perturbed.values():
                 assert isinstance(value, int)
                 assert value >= 0

@@ -193,7 +193,7 @@ class TestInterTrajectoryModifier:
         )
         modified, report = self.make().apply(dataset, perturbation)
         assert report.utility_loss == 0.0
-        for original, new in zip(dataset, modified):
+        for original, new in zip(dataset, modified, strict=True):
             assert [p.coord for p in original] == [p.coord for p in new]
 
     def test_unrealisable_increase_reported(self):

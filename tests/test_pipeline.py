@@ -116,20 +116,21 @@ class TestAnonymization:
             [p.coord for p in trajectory] for trajectory in fleet.dataset
         ]
         GL(epsilon=1.0, signature_size=3, seed=5).anonymize(fleet.dataset)
-        for trajectory, coords in zip(fleet.dataset, snapshot):
+        for trajectory, coords in zip(fleet.dataset, snapshot, strict=True):
             assert [p.coord for p in trajectory] == coords
 
     def test_deterministic_for_seed(self, fleet):
         a = GL(epsilon=1.0, signature_size=3, seed=6).anonymize(fleet.dataset)
         b = GL(epsilon=1.0, signature_size=3, seed=6).anonymize(fleet.dataset)
-        for ta, tb in zip(a, b):
+        for ta, tb in zip(a, b, strict=True):
             assert [p.coord for p in ta] == [p.coord for p in tb]
 
     def test_different_seeds_differ(self, fleet):
         a = GL(epsilon=1.0, signature_size=3, seed=7).anonymize(fleet.dataset)
         b = GL(epsilon=1.0, signature_size=3, seed=8).anonymize(fleet.dataset)
         assert any(
-            [p.coord for p in ta] != [p.coord for p in tb] for ta, tb in zip(a, b)
+            [p.coord for p in ta] != [p.coord for p in tb]
+            for ta, tb in zip(a, b, strict=True)
         )
 
     def test_repeated_calls_draw_fresh_noise(self, fleet):
@@ -141,7 +142,7 @@ class TestAnonymization:
         second = anonymizer.anonymize(fleet.dataset)
         assert any(
             [p.coord for p in ta] != [p.coord for p in tb]
-            for ta, tb in zip(first, second)
+            for ta, tb in zip(first, second, strict=True)
         )
 
     def test_call_sequence_reproducible_across_instances(self, fleet):

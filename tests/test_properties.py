@@ -91,7 +91,7 @@ class TestEditableTrajectoryConsistency:
             build_trajectory(coords), LinearSegmentIndex()
         )
         previous = 0.0
-        for loc in list(sorted(editable._nodes_by_loc))[:5]:
+        for loc in sorted(editable._nodes_by_loc)[:5]:
             editable.delete_cheapest(loc, 1)
             assert editable.total_utility_loss >= previous - 1e-9
             previous = editable.total_utility_loss
@@ -205,7 +205,7 @@ class TestCsvRoundTripProperty:
         write_csv(dataset, target)
         restored = read_csv(target)
         assert len(restored) == 1
-        for p, q in zip(dataset[0], restored[0]):
+        for p, q in zip(dataset[0], restored[0], strict=True):
             assert q.x == pytest.approx(p.x, abs=1e-3)
             assert q.y == pytest.approx(p.y, abs=1e-3)
             assert q.t == pytest.approx(p.t, abs=1e-3)

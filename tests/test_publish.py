@@ -114,8 +114,8 @@ class TestCompositionAcrossChunks:
                 sum(t.perturbed.get(loc, 0) for t in targets)
                 == shared.perturbed[loc]
             )
-        for target, size in zip(targets, estimate.chunk_sizes):
-            for loc, count in target.perturbed.items():
+        for target, size in zip(targets, estimate.chunk_sizes, strict=True):
+            for count in target.perturbed.values():
                 assert 0 <= count <= size
 
     def test_merged_output_keeps_every_trajectory(self, fleet):

@@ -73,7 +73,7 @@ class TestQueries:
         coord = network.node_coord(0)
         hits = network.edges_near(coord, radius=100.0)
         assert hits, "expected at least the incident edges"
-        for edge, dist in hits:
+        for _edge, dist in hits:
             assert dist <= 100.0
         dists = [d for _, d in hits]
         assert dists == sorted(dists)

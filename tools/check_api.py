@@ -15,7 +15,8 @@ Usage::
     PYTHONPATH=src python tools/check_api.py            # verify (CI)
     PYTHONPATH=src python tools/check_api.py --update   # bless changes
 
-CI runs the verify mode as the ``api`` job next to the docs check.
+CI runs the verify mode as the ``api`` section of the unified
+``tools/check_static.py`` gate.
 """
 
 from __future__ import annotations
@@ -32,7 +33,13 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 SNAPSHOT = REPO_ROOT / "tools" / "api_surface.json"
 
 #: The modules whose ``__all__`` is the public contract.
-PUBLIC_MODULES = ("repro", "repro.api", "repro.engine", "repro.data")
+PUBLIC_MODULES = (
+    "repro",
+    "repro.api",
+    "repro.engine",
+    "repro.data",
+    "repro.analysis",
+)
 
 #: Memory addresses and other run-dependent repr noise to normalize.
 _ADDRESS = re.compile(r"0x[0-9a-fA-F]+")

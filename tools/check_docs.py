@@ -7,7 +7,8 @@ each against the argparse tree built by ``repro.cli._build_parser()``:
 the subcommand must exist, every ``--flag`` must be declared by that
 subcommand, and positional values with declared choices must be valid.
 Documentation can therefore never drift ahead of (or behind) the CLI —
-CI runs this as the docs job.
+CI runs this as the ``docs`` section of the unified
+``tools/check_static.py`` gate.
 
 Usage::
 
