@@ -50,17 +50,25 @@ def _run_local(fleet, mechanism_cls, config):
 
 
 class TestStage2Ablation:
-    def test_bench_with_stage2(self, benchmark, config, fleet):
+    def test_bench_with_stage2(self, benchmark, bench_timer, config, fleet):
         points = benchmark.pedantic(
-            lambda: _run_local(fleet, LocalPFMechanism, config),
+            lambda: bench_timer(
+                "ablation",
+                "stage2_on_s",
+                lambda: _run_local(fleet, LocalPFMechanism, config),
+            ),
             rounds=2,
             iterations=1,
         )
         assert points > 0
 
-    def test_bench_without_stage2(self, benchmark, config, fleet):
+    def test_bench_without_stage2(self, benchmark, bench_timer, config, fleet):
         points = benchmark.pedantic(
-            lambda: _run_local(fleet, _Stage1OnlyMechanism, config),
+            lambda: bench_timer(
+                "ablation",
+                "stage2_off_s",
+                lambda: _run_local(fleet, _Stage1OnlyMechanism, config),
+            ),
             rounds=2,
             iterations=1,
         )

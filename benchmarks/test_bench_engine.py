@@ -14,16 +14,17 @@ overhead is visible, yet small enough for CI. Set
 trajectories x 300 points, m=10) instead — the scale the engine's
 speedup targets are recorded at.
 
-Wall-clock measurements land in ``BENCH_engine.json`` via the
-``bench_records`` fixture (see ``conftest``), so the perf trajectory is
-tracked across PRs even under ``--benchmark-disable``.
+Wall-clock measurements land in the session :class:`repro.bench.BenchRecord`
+via the ``bench_timer`` fixture (see ``conftest``) — written to
+``BENCH_engine.json`` and appended to the scale-keyed history — so the
+perf trajectory is tracked across PRs even under
+``--benchmark-disable``.
 """
 
-import os
 import random
-import time
 
 import pytest
+from conftest import N_OBJECTS, N_POINTS, SIGNATURE_SIZE
 
 from repro.core.global_mechanism import GlobalTFMechanism
 from repro.core.modification import InterTrajectoryModifier, make_index_factory
@@ -33,20 +34,9 @@ from repro.data.stream import chunked
 from repro.datagen.generator import FleetConfig, generate_fleet
 from repro.engine import BatchAnonymizer, StreamPublisher
 
-PAPER_SCALE = os.environ.get("REPRO_BENCH_SCALE", "").lower() == "paper"
-N_OBJECTS, N_POINTS, SIGNATURE_SIZE = (
-    (500, 300, 10) if PAPER_SCALE else (60, 120, 5)
-)
-
 
 @pytest.fixture(scope="module")
-def engine_fleet(bench_records):
-    bench_records["scale"] = {
-        "n_objects": N_OBJECTS,
-        "points_per_trajectory": N_POINTS,
-        "signature_size": SIGNATURE_SIZE,
-        "paper_scale": PAPER_SCALE,
-    }
+def engine_fleet():
     return generate_fleet(
         FleetConfig(
             n_objects=N_OBJECTS, points_per_trajectory=N_POINTS, rows=16,
@@ -72,53 +62,46 @@ def _apply_inter(dataset, perturbation, candidate_source):
     return modifier.apply(dataset, perturbation)
 
 
-def _timed_inter(bench_records, dataset, perturbation, candidate_source):
-    """Apply + record wall-clock under ``inter_modification.<source>_s``.
-
-    Recording wraps the timed call itself, so the JSON numbers exist
-    in quick mode (``--benchmark-disable`` runs each bench once).
-    """
-    started = time.perf_counter()
-    result = _apply_inter(dataset, perturbation, candidate_source)
-    seconds = time.perf_counter() - started
-    records = bench_records.setdefault("inter_modification", {})
-    # Keep the fastest observed round, like pytest-benchmark's "min".
-    key = f"{candidate_source}_s"
-    records[key] = min(records.get(key, float("inf")), seconds)
-    return result
+def _timed_inter(bench_timer, dataset, perturbation, candidate_source):
+    """Apply + record wall-clock under ``inter_modification.<source>_s``."""
+    return bench_timer(
+        "inter_modification",
+        f"{candidate_source}_s",
+        lambda: _apply_inter(dataset, perturbation, candidate_source),
+    )
 
 
 def test_bench_inter_restart_scan(
-    benchmark, bench_records, engine_fleet, tf_perturbation
+    benchmark, bench_timer, engine_fleet, tf_perturbation
 ):
     """Baseline: the seed restart-scan candidate search."""
     _, report = benchmark(
         lambda: _timed_inter(
-            bench_records, engine_fleet.dataset, tf_perturbation, "restart"
+            bench_timer, engine_fleet.dataset, tf_perturbation, "restart"
         )
     )
     assert report.insertions > 0
 
 
 def test_bench_inter_incremental(
-    benchmark, bench_records, engine_fleet, tf_perturbation
+    benchmark, bench_timer, engine_fleet, tf_perturbation
 ):
     """PR 1's engine path: lazy iter_nearest consumption."""
     _, report = benchmark(
         lambda: _timed_inter(
-            bench_records, engine_fleet.dataset, tf_perturbation, "incremental"
+            bench_timer, engine_fleet.dataset, tf_perturbation, "incremental"
         )
     )
     assert report.insertions > 0
 
 
 def test_bench_inter_wave(
-    benchmark, bench_records, engine_fleet, tf_perturbation
+    benchmark, bench_timer, engine_fleet, tf_perturbation
 ):
     """The wave planner/executor path (PR 4's global stage)."""
     _, report = benchmark(
         lambda: _timed_inter(
-            bench_records, engine_fleet.dataset, tf_perturbation, "wave"
+            bench_timer, engine_fleet.dataset, tf_perturbation, "wave"
         )
     )
     assert report.insertions > 0
@@ -168,19 +151,10 @@ def test_inter_modes_cost_equivalent(engine_fleet, tf_perturbation):
     )
 
 
-def _timed_local(bench_records, key, fn):
-    started = time.perf_counter()
-    result = fn()
-    seconds = time.perf_counter() - started
-    records = bench_records.setdefault("local_stage", {})
-    records[key] = min(records.get(key, float("inf")), seconds)
-    return result
-
-
-def test_bench_local_stage_serial(benchmark, bench_records, engine_fleet):
+def test_bench_local_stage_serial(benchmark, bench_timer, engine_fleet):
     benchmark.pedantic(
-        lambda: _timed_local(
-            bench_records,
+        lambda: bench_timer(
+            "local_stage",
             "serial_s",
             lambda: PureL(
                 epsilon=0.5, signature_size=SIGNATURE_SIZE, seed=7
@@ -191,12 +165,12 @@ def test_bench_local_stage_serial(benchmark, bench_records, engine_fleet):
     )
 
 
-def test_bench_local_stage_batch(benchmark, bench_records, engine_fleet):
+def test_bench_local_stage_batch(benchmark, bench_timer, engine_fleet):
     """Sharded local stage via the process pool (falls back to serial
     where pools are unavailable; output is identical either way)."""
     benchmark.pedantic(
-        lambda: _timed_local(
-            bench_records,
+        lambda: bench_timer(
+            "local_stage",
             "batch_s",
             lambda: BatchAnonymizer(
                 PureL(epsilon=0.5, signature_size=SIGNATURE_SIZE, seed=7),
@@ -208,20 +182,11 @@ def test_bench_local_stage_batch(benchmark, bench_records, engine_fleet):
     )
 
 
-def _timed_publish(bench_records, key, fn):
-    started = time.perf_counter()
-    result = fn()
-    seconds = time.perf_counter() - started
-    records = bench_records.setdefault("stream_publisher", {})
-    records[key] = min(records.get(key, float("inf")), seconds)
-    return result
-
-
 def _bench_chunk_size():
     return max(1, N_OBJECTS // 4)
 
 
-def test_bench_publish_per_chunk(benchmark, bench_records, engine_fleet):
+def test_bench_publish_per_chunk(benchmark, bench_timer, engine_fleet):
     """Baseline: k independent per-chunk releases (anonymize_stream)."""
 
     def run_stream():
@@ -236,14 +201,16 @@ def test_bench_publish_per_chunk(benchmark, bench_records, engine_fleet):
         )
 
     published = benchmark.pedantic(
-        lambda: _timed_publish(bench_records, "per_chunk_s", run_stream),
+        lambda: bench_timer("stream_publisher", "per_chunk_s", run_stream),
         rounds=1,
         iterations=1,
     )
     assert published == N_OBJECTS
 
 
-def test_bench_publish_shared_tf(benchmark, bench_records, engine_fleet):
+def test_bench_publish_shared_tf(
+    benchmark, bench_records, bench_timer, engine_fleet
+):
     """The two-pass whole-dataset publisher on the same chunking."""
     bench_records.setdefault("stream_publisher", {})["chunks"] = -(
         -N_OBJECTS // _bench_chunk_size()
@@ -258,7 +225,7 @@ def test_bench_publish_shared_tf(benchmark, bench_records, engine_fleet):
         )
 
     report = benchmark.pedantic(
-        lambda: _timed_publish(bench_records, "shared_tf_s", run_publish),
+        lambda: bench_timer("stream_publisher", "shared_tf_s", run_publish),
         rounds=1,
         iterations=1,
     )

@@ -37,9 +37,15 @@ def test_bench_fig4_point(benchmark, config, fleet):
         assert panel in evaluation.values
 
 
-def test_bench_fig4_end_to_end(benchmark, config):
+def test_bench_fig4_end_to_end(benchmark, bench_timer, config):
     series = benchmark.pedantic(
-        lambda: run_fig4(config, epsilons=(0.5, 5.0)), rounds=1, iterations=1
+        lambda: bench_timer(
+            "fig4",
+            "end_to_end_s",
+            lambda: run_fig4(config, epsilons=(0.5, 5.0)),
+        ),
+        rounds=1,
+        iterations=1,
     )
     assert set(series) == set(PANELS)
     for models in series.values():

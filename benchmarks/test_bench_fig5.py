@@ -73,8 +73,14 @@ def test_bench_modification_split(benchmark, config):
     assert timings["Local"][0] > 0
 
 
-def test_bench_fig5_end_to_end(benchmark, config):
+def test_bench_fig5_end_to_end(benchmark, bench_timer, config):
     results = benchmark.pedantic(
-        lambda: run_fig5(config, sizes=(10, 20)), rounds=1, iterations=1
+        lambda: bench_timer(
+            "fig5",
+            "end_to_end_s",
+            lambda: run_fig5(config, sizes=(10, 20)),
+        ),
+        rounds=1,
+        iterations=1,
     )
     assert set(results["search"]) == {"Linear", "UG", "HGt", "HGb", "HG+", "RT"}

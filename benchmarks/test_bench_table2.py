@@ -54,10 +54,14 @@ def test_bench_method_evaluation(benchmark, config, fleet, label):
     assert evaluation.values["LAs"] is not None
 
 
-def test_bench_table2_end_to_end(benchmark, config):
+def test_bench_table2_end_to_end(benchmark, bench_timer, config):
     """The full Table II pipeline on a reduced method subset."""
     results = benchmark.pedantic(
-        lambda: run_table2(config, methods=["SC", "PureG", "PureL", "GL"]),
+        lambda: bench_timer(
+            "table2",
+            "end_to_end_s",
+            lambda: run_table2(config, methods=["SC", "PureG", "PureL", "GL"]),
+        ),
         rounds=1,
         iterations=1,
     )

@@ -1,0 +1,88 @@
+"""Dependency-free order statistics for benchmark baselines.
+
+The baseline window over a :class:`~repro.bench.history.BenchHistory`
+is a handful of floats per tracked key — small enough that sorting on
+every call is cheaper than any clever structure, and keeping numpy out
+means the regression gate (``tools/check_bench.py``) can run in the
+leanest CI job without the engine's dependencies.
+
+``percentile`` follows the linear-interpolation convention (numpy's
+default, Excel's ``PERCENTILE.INC``): ``q=0`` is the minimum, ``q=100``
+the maximum, everything between interpolates linearly between the two
+nearest order statistics. Empty input yields ``None`` rather than
+raising, so callers can treat "no baseline yet" as data, not as an
+error path.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+__all__ = ["iqr", "median", "percentile", "summarize"]
+
+
+def percentile(values: Iterable[float], q: float) -> float | None:
+    """The ``q``-th percentile of ``values`` (linear interpolation).
+
+    ``q`` must lie in ``[0, 100]``. Returns ``None`` for empty input.
+    The result is always within ``[min(values), max(values)]``, is
+    non-decreasing in ``q``, and does not depend on the input order.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q!r}")
+    ordered = sorted(float(v) for v in values)
+    if not ordered:
+        return None
+    if len(ordered) == 1:
+        return ordered[0]
+    position = (len(ordered) - 1) * (q / 100.0)
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    if lower == upper:
+        return ordered[lower]
+    fraction = position - lower
+    return ordered[lower] + (ordered[upper] - ordered[lower]) * fraction
+
+
+def median(values: Iterable[float]) -> float | None:
+    """The 50th percentile (``None`` for empty input)."""
+    return percentile(values, 50.0)
+
+
+def iqr(values: Iterable[float]) -> float | None:
+    """Interquartile range ``p75 - p25`` (``None`` for empty input)."""
+    materialized = list(values)
+    upper = percentile(materialized, 75.0)
+    lower = percentile(materialized, 25.0)
+    if upper is None or lower is None:
+        return None
+    return upper - lower
+
+
+def summarize(values: Iterable[float]) -> dict[str, float | int | None]:
+    """The full baseline summary used by shift classification reports.
+
+    ``{"count", "min", "p25", "median", "p75", "max", "iqr"}`` — every
+    statistic ``None`` when the window is empty.
+    """
+    materialized = [float(v) for v in values]
+    if not materialized:
+        return {
+            "count": 0,
+            "min": None,
+            "p25": None,
+            "median": None,
+            "p75": None,
+            "max": None,
+            "iqr": None,
+        }
+    return {
+        "count": len(materialized),
+        "min": min(materialized),
+        "p25": percentile(materialized, 25.0),
+        "median": percentile(materialized, 50.0),
+        "p75": percentile(materialized, 75.0),
+        "max": max(materialized),
+        "iqr": iqr(materialized),
+    }

@@ -11,6 +11,7 @@ Subcommands::
     repro evaluate   compute utility metrics between two datasets
     repro experiment regenerate a table/figure of the paper
     repro check      run the project's static-analysis rules
+    repro bench      benchmark history: import, compare, report
 
 Dataset arguments accept a planar CSV path, a preprocessed-artifact
 directory, or an ingested registry name (see ``docs/data.md``).
@@ -346,6 +347,79 @@ def _build_parser() -> argparse.ArgumentParser:
         "--list-rules",
         action="store_true",
         help="list the registered rules and exit",
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="benchmark history: import snapshots, compare against the "
+        "baseline window, report shift classifications (see "
+        "docs/benchmarks.md)",
+    )
+    bench.add_argument(
+        "action",
+        choices=("record", "compare", "report"),
+        help="record: append a snapshot to the history; compare: gate "
+        "the newest record of one bench/scale; report: classify every "
+        "bench/scale partition",
+    )
+    bench.add_argument(
+        "--history",
+        default="BENCH_history.jsonl",
+        metavar="JSONL",
+        help="the append-only record store (default: BENCH_history.jsonl)",
+    )
+    bench.add_argument(
+        "--snapshot",
+        default=None,
+        metavar="JSON",
+        help="flat BENCH_*.json snapshot to import (record only)",
+    )
+    bench.add_argument(
+        "--source",
+        default="snapshot-import",
+        metavar="LABEL",
+        help="provenance label stored with an imported record",
+    )
+    bench.add_argument(
+        "--bench",
+        dest="bench_name",
+        default="engine",
+        metavar="NAME",
+        help="bench name to compare (default: engine)",
+    )
+    bench.add_argument(
+        "--scale",
+        default=None,
+        metavar="KEY",
+        help="scale key (paper-500x300-m10) or family (paper/smoke); "
+        "required only when the bench has records at several scales",
+    )
+    bench.add_argument(
+        "--window",
+        type=int,
+        default=5,
+        metavar="N",
+        help="baseline window: the last N same-scale records",
+    )
+    bench.add_argument(
+        "--minor",
+        type=float,
+        default=0.05,
+        metavar="FRACTION",
+        help="relative shift that counts as a minor change (warns)",
+    )
+    bench.add_argument(
+        "--significant",
+        type=float,
+        default=0.15,
+        metavar="FRACTION",
+        help="relative shift that counts as significant (fails)",
+    )
+    bench.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (json emits the machine-readable schema)",
     )
     return parser
 
@@ -710,6 +784,92 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return report.exit_code()
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """``repro bench record|compare|report`` — exit 0/1/2 like ``check``.
+
+    0: stable or better (minor shifts print as warnings), 1: significant
+    degradation of any tracked key, 2: the invocation itself failed
+    (missing/corrupt history, cross-scale comparison, bad snapshot).
+    """
+    from pathlib import Path
+
+    from repro.bench import (
+        BenchHistory,
+        BenchRecord,
+        HistoryError,
+        RecordError,
+        Thresholds,
+    )
+
+    history = BenchHistory(args.history)
+    try:
+        thresholds = Thresholds(
+            minor=args.minor, significant=args.significant
+        )
+        if args.action == "record":
+            if not args.snapshot:
+                print(
+                    "repro bench record: --snapshot is required "
+                    "(the flat BENCH_*.json to import)",
+                    file=sys.stderr,
+                )
+                return 2
+            payload = json.loads(Path(args.snapshot).read_text())
+            record = BenchRecord.from_snapshot(
+                payload, provenance={"source": args.source}
+            )
+            history.append(record)
+            print(
+                f"recorded bench {record.bench} @ {record.scale.key} "
+                f"({len(record.tracked_keys())} tracked key(s)) "
+                f"-> {history.path}"
+            )
+            return 0
+        if args.action == "compare":
+            comparisons = [
+                history.compare_latest(
+                    args.bench_name,
+                    scale=args.scale,
+                    window=args.window,
+                    thresholds=thresholds,
+                )
+            ]
+        else:  # report
+            comparisons = history.compare_all(
+                window=args.window, thresholds=thresholds
+            )
+            if not comparisons:
+                print(
+                    f"repro bench report: {history.path} is empty",
+                    file=sys.stderr,
+                )
+                return 2
+    except (
+        HistoryError,
+        RecordError,
+        ValueError,
+        OSError,
+        json.JSONDecodeError,
+    ) as exc:
+        print(f"repro bench {args.action}: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "version": 1,
+                    "clean": all(c.clean for c in comparisons),
+                    "comparisons": [c.to_dict() for c in comparisons],
+                },
+                indent=2,
+            )
+        )
+    else:
+        for comparison in comparisons:
+            print(comparison.render_human())
+    return max(comparison.exit_code() for comparison in comparisons)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -722,6 +882,7 @@ def main(argv: list[str] | None = None) -> int:
         "evaluate": _cmd_evaluate,
         "experiment": _cmd_experiment,
         "check": _cmd_check,
+        "bench": _cmd_bench,
     }
     try:
         return handlers[args.command](args)

@@ -1,0 +1,141 @@
+"""Tests for the append-only history store (repro.bench.history)."""
+
+import pytest
+
+from repro.bench import (
+    BenchHistory,
+    BenchRecord,
+    BenchScale,
+    HistoryError,
+    ShiftClass,
+)
+
+PAPER = BenchScale(500, 300, 10, paper_scale=True)
+SMOKE = BenchScale(60, 120, 5, paper_scale=False)
+
+
+def _record(wave_s=10.0, *, bench="engine", scale=PAPER):
+    return BenchRecord(
+        bench=bench,
+        scale=scale,
+        python="3.11.7",
+        metrics={"inter_modification": {"wave_s": wave_s}},
+    )
+
+
+@pytest.fixture
+def history(tmp_path):
+    return BenchHistory(tmp_path / "BENCH_history.jsonl")
+
+
+class TestAppendLoad:
+    def test_append_preserves_order(self, history):
+        for value in (10.0, 11.0, 12.0):
+            history.append(_record(value))
+        values = [
+            r.value("inter_modification.wave_s") for r in history.load()
+        ]
+        assert values == [10.0, 11.0, 12.0]
+
+    def test_append_only_one_line_per_record(self, history):
+        history.append(_record())
+        history.append(_record())
+        lines = history.path.read_text().splitlines()
+        assert len(lines) == 2
+
+    def test_missing_file_is_a_clear_error(self, history):
+        with pytest.raises(HistoryError, match="no benchmark history"):
+            history.load()
+        assert not history.exists()
+
+    def test_corrupt_line_reports_line_number(self, history):
+        history.append(_record())
+        with open(history.path, "a") as handle:
+            handle.write("{broken\n")
+        with pytest.raises(HistoryError, match=r":2:"):
+            history.load()
+
+    def test_blank_lines_tolerated(self, history):
+        history.append(_record())
+        with open(history.path, "a") as handle:
+            handle.write("\n")
+        history.append(_record(11.0))
+        assert len(history.load()) == 2
+
+
+class TestGrouping:
+    def test_partitions_by_bench_and_scale(self, history):
+        history.append(_record(10.0, scale=PAPER))
+        history.append(_record(0.2, scale=SMOKE))
+        history.append(_record(9.0, scale=PAPER))
+        groups = history.groups()
+        assert set(groups) == {
+            ("engine", PAPER.key),
+            ("engine", SMOKE.key),
+        }
+        assert len(groups[("engine", PAPER.key)]) == 2
+
+    def test_resolve_full_key_and_family(self, history):
+        history.append(_record(scale=PAPER))
+        history.append(_record(scale=SMOKE))
+        assert history.resolve_scale("engine", PAPER.key) == PAPER.key
+        assert history.resolve_scale("engine", "paper") == PAPER.key
+        assert history.resolve_scale("engine", "smoke") == SMOKE.key
+
+    def test_resolve_none_needs_single_scale(self, history):
+        history.append(_record(scale=PAPER))
+        assert history.resolve_scale("engine", None) == PAPER.key
+        history.append(_record(scale=SMOKE))
+        with pytest.raises(HistoryError, match="pick one with --scale"):
+            history.resolve_scale("engine", None)
+
+    def test_resolve_ambiguous_family_refused(self, history):
+        history.append(_record(scale=SMOKE))
+        history.append(_record(scale=BenchScale(80, 100, 5)))
+        with pytest.raises(HistoryError, match="ambiguous"):
+            history.resolve_scale("engine", "smoke")
+
+    def test_resolve_unknown_scale_lists_choices(self, history):
+        history.append(_record(scale=PAPER))
+        with pytest.raises(HistoryError, match=PAPER.key):
+            history.resolve_scale("engine", "smoke-9x9-m1")
+
+    def test_resolve_unknown_bench(self, history):
+        history.append(_record())
+        with pytest.raises(HistoryError, match="no records for bench"):
+            history.resolve_scale("nope", None)
+
+
+class TestCompareLatest:
+    def test_scale_confusion_bug_is_fixed(self, history):
+        """A smoke record appended after paper records must never be
+        weighed against the paper baseline (the latent bug this layer
+        exists to close): each partition compares only to itself."""
+        history.append(_record(10.0, scale=PAPER))
+        history.append(_record(10.1, scale=PAPER))
+        # Smoke-scale run is 50x faster — a scale-blind baseline would
+        # call this a massive improvement (and the next paper run a
+        # catastrophic regression).
+        history.append(_record(0.2, scale=SMOKE))
+        paper = history.compare_latest("engine", scale="paper")
+        (shift,) = paper.shifts
+        assert shift.candidate == 10.1
+        assert shift.baseline["median"] == 10.0
+        assert shift.shift is ShiftClass.STABLE
+        smoke = history.compare_latest("engine", scale="smoke")
+        assert smoke.window == 0  # only itself: no baseline yet
+        assert smoke.new_keys == ("inter_modification.wave_s",)
+
+    def test_single_record_partition_is_clean(self, history):
+        history.append(_record())
+        comparison = history.compare_latest("engine")
+        assert comparison.clean
+        assert comparison.window == 0
+
+    def test_compare_all_covers_every_partition(self, history):
+        history.append(_record(scale=PAPER))
+        history.append(_record(scale=SMOKE))
+        history.append(_record(bench="other", scale=SMOKE))
+        comparisons = history.compare_all()
+        assert len(comparisons) == 3
+        assert all(c.clean for c in comparisons)

@@ -1,0 +1,120 @@
+"""Property tests (hypothesis) for the dependency-free bench statistics.
+
+The baseline window feeds ``repro.bench.stats`` raw wall-clock floats;
+the regression gate's verdicts are only as trustworthy as these order
+statistics, so the invariants are pinned exhaustively: bounds,
+monotonicity in q, permutation invariance, and the empty/single-element
+edges.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bench.stats import iqr, median, percentile, summarize
+
+finite_values = st.lists(
+    st.floats(
+        min_value=0.0,
+        max_value=1e12,
+        allow_nan=False,
+        allow_infinity=False,
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+quantiles = st.floats(
+    min_value=0.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+
+class TestPercentileProperties:
+    @given(values=finite_values, q=quantiles)
+    def test_bounded_by_min_and_max(self, values, q):
+        result = percentile(values, q)
+        assert min(values) <= result <= max(values)
+
+    @given(values=finite_values, q1=quantiles, q2=quantiles)
+    def test_monotone_in_q(self, values, q1, q2):
+        low, high = sorted((q1, q2))
+        assert percentile(values, low) <= percentile(values, high)
+
+    @given(values=finite_values, q=quantiles, seed=st.integers(0, 2**16))
+    def test_permutation_invariant(self, values, q, seed):
+        import random
+
+        shuffled = list(values)
+        random.Random(seed).shuffle(shuffled)
+        assert percentile(shuffled, q) == percentile(values, q)
+
+    @given(values=finite_values)
+    def test_extremes_are_min_and_max(self, values):
+        assert percentile(values, 0) == min(values)
+        assert percentile(values, 100) == max(values)
+
+    @given(value=st.floats(0.0, 1e12, allow_nan=False), q=quantiles)
+    def test_single_element(self, value, q):
+        assert percentile([value], q) == value
+
+    @given(q=quantiles)
+    def test_empty_input_is_none(self, q):
+        assert percentile([], q) is None
+
+    @given(values=finite_values)
+    def test_interpolation_within_neighbours(self, values):
+        """P25/P75 interpolate between adjacent order statistics."""
+        ordered = sorted(values)
+        for q in (25.0, 75.0):
+            position = (len(ordered) - 1) * q / 100.0
+            lower = ordered[math.floor(position)]
+            upper = ordered[math.ceil(position)]
+            assert lower <= percentile(values, q) <= upper
+
+
+class TestPercentileContract:
+    """The FlakeBench-style unit contract, kept as concrete anchors."""
+
+    def test_basic(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 50) == 3.0
+        assert percentile(values, 100) == 5.0
+
+    def test_interpolation(self):
+        values = [10.0, 20.0, 30.0, 40.0]
+        assert 10 < percentile(values, 25) < 20
+        assert 30 < percentile(values, 75) < 40
+
+    @pytest.mark.parametrize("q", (-0.1, 100.1, 250))
+    def test_out_of_range_q_raises(self, q):
+        with pytest.raises(ValueError, match="percentile q"):
+            percentile([1.0], q)
+
+
+class TestDerivedStats:
+    @given(values=finite_values)
+    def test_median_is_p50(self, values):
+        assert median(values) == percentile(values, 50)
+
+    @given(values=finite_values)
+    def test_iqr_non_negative(self, values):
+        assert iqr(values) >= 0
+
+    def test_empty_edges(self):
+        assert median([]) is None
+        assert iqr([]) is None
+        summary = summarize([])
+        assert summary["count"] == 0
+        assert summary["median"] is None
+
+    @given(values=finite_values)
+    def test_summary_is_consistent(self, values):
+        summary = summarize(values)
+        assert summary["count"] == len(values)
+        assert summary["min"] == min(values)
+        assert summary["max"] == max(values)
+        assert summary["min"] <= summary["p25"] <= summary["median"]
+        assert summary["median"] <= summary["p75"] <= summary["max"]
+        assert summary["iqr"] == summary["p75"] - summary["p25"]

@@ -1,0 +1,161 @@
+"""End-to-end tests for the benchmark regression gate
+(tools/check_bench.py), mirroring tests/test_check_static.py: the
+committed repo state must pass, an injected regression must fail with
+exit 1, and checker crashes must exit 2.
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bench import BenchRecord, BenchScale
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+PAPER = BenchScale(
+    n_objects=500, points_per_trajectory=300, signature_size=10,
+    paper_scale=True,
+)
+
+
+@pytest.fixture(scope="module")
+def check_bench():
+    sys.path.insert(0, str(REPO_ROOT / "tools"))
+    spec = importlib.util.spec_from_file_location(
+        "check_bench", REPO_ROOT / "tools" / "check_bench.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["check_bench"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def _line(wave_s, shared_tf_s=13.0):
+    record = BenchRecord(
+        bench="engine",
+        scale=PAPER,
+        python="3.11.7",
+        metrics={
+            "inter_modification": {"wave_s": wave_s},
+            "stream_publisher": {"shared_tf_s": shared_tf_s},
+        },
+        provenance={"source": "fixture"},
+    )
+    return record.to_jsonl()
+
+
+@pytest.fixture
+def fixture_history(tmp_path):
+    """Three stable baseline runs, wave_s hovering around 10s."""
+    path = tmp_path / "BENCH_history.jsonl"
+    path.write_text(
+        "\n".join(_line(v) for v in (10.0, 10.2, 9.9)) + "\n"
+    )
+    return path
+
+
+class TestCommittedRepoState:
+    def test_committed_history_passes(self, check_bench, capsys):
+        """The acceptance gate: the repo as committed must exit 0."""
+        assert check_bench.main([]) == 0
+        assert "bench gate clean" in capsys.readouterr().out
+
+    def test_committed_history_json(self, check_bench, capsys):
+        assert check_bench.main(["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["clean"] is True
+        assert payload["comparisons"]
+
+
+class TestInjectedRegression:
+    """A 25% slowdown on inter_modification.wave_s must fail CI."""
+
+    def test_regression_exits_one(
+        self, check_bench, fixture_history, capsys
+    ):
+        with open(fixture_history, "a") as handle:
+            handle.write(_line(12.5) + "\n")  # +25% over median 10.0
+        code = check_bench.main(["--history", str(fixture_history)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "inter_modification.wave_s" in out
+        assert "significant_degradation" in out
+        assert "FAIL" in out
+
+    def test_warn_only_downgrades_to_zero(
+        self, check_bench, fixture_history, capsys
+    ):
+        with open(fixture_history, "a") as handle:
+            handle.write(_line(12.5) + "\n")
+        code = check_bench.main(
+            ["--history", str(fixture_history), "--warn-only"]
+        )
+        assert code == 0
+        assert "warn-only" in capsys.readouterr().out
+
+    def test_stable_run_exits_zero(
+        self, check_bench, fixture_history, capsys
+    ):
+        with open(fixture_history, "a") as handle:
+            handle.write(_line(10.1) + "\n")
+        code = check_bench.main(["--history", str(fixture_history)])
+        assert code == 0
+        assert "bench gate clean" in capsys.readouterr().out
+
+    def test_json_report_carries_the_shift(
+        self, check_bench, fixture_history, capsys
+    ):
+        with open(fixture_history, "a") as handle:
+            handle.write(_line(12.5) + "\n")
+        code = check_bench.main(
+            ["--history", str(fixture_history), "--json"]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is False
+        (comparison,) = payload["comparisons"]
+        shifts = {s["key"]: s["shift"] for s in comparison["shifts"]}
+        assert (
+            shifts["inter_modification.wave_s"]
+            == "significant_degradation"
+        )
+
+
+class TestCrashPaths:
+    def test_missing_history_exits_two(
+        self, check_bench, tmp_path, capsys
+    ):
+        code = check_bench.main(
+            ["--history", str(tmp_path / "nope.jsonl")]
+        )
+        assert code == 2
+        assert "check_bench:" in capsys.readouterr().err
+
+    def test_corrupt_history_exits_two(
+        self, check_bench, tmp_path, capsys
+    ):
+        path = tmp_path / "corrupt.jsonl"
+        path.write_text(_line(10.0) + "\n{broken\n")
+        assert check_bench.main(["--history", str(path)]) == 2
+        assert "HistoryError" in capsys.readouterr().err
+
+    def test_bad_thresholds_exit_two(self, check_bench, fixture_history):
+        code = check_bench.main(
+            [
+                "--history", str(fixture_history),
+                "--minor", "0.5", "--significant", "0.1",
+            ]
+        )
+        assert code == 2
+
+    def test_warn_only_does_not_mask_crashes(
+        self, check_bench, tmp_path
+    ):
+        code = check_bench.main(
+            ["--history", str(tmp_path / "nope.jsonl"), "--warn-only"]
+        )
+        assert code == 2

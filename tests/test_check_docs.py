@@ -25,7 +25,7 @@ class TestSpec:
         spec = check_docs.build_spec()
         assert set(spec) == {
             "generate", "ingest", "methods", "anonymize", "publish",
-            "attack", "evaluate", "experiment", "check",
+            "attack", "evaluate", "experiment", "check", "bench",
         }
         assert "--engine" in spec["anonymize"]["options"]
         assert "--method" in spec["anonymize"]["options"]

@@ -28,7 +28,7 @@ class TestRepoIsClean:
         assert check_static.main([]) == 0
         out = capsys.readouterr().out
         assert "static gate clean" in out
-        for section in ("analysis", "api", "docs"):
+        for section in ("analysis", "api", "docs", "bench"):
             assert f"[   ok] {section}:" in out
 
     def test_json_mode_schema(self, check_static, capsys):
@@ -83,3 +83,49 @@ class TestInjectedViolation:
         out = capsys.readouterr().out
         assert "[ERROR] analysis:" in out
         assert "internal error" in out
+
+
+class TestBenchSection:
+    """The bench gate rides inside the unified static gate."""
+
+    def _check_bench(self, check_static):
+        import sys
+
+        return sys.modules["check_bench"]
+
+    def test_bench_section_passes_on_committed_history(
+        self, check_static, capsys
+    ):
+        assert check_static.main(["bench"]) == 0
+        out = capsys.readouterr().out
+        assert "[   ok] bench:" in out
+        assert "bench/scale partition(s)" in out
+
+    def test_missing_history_fails_with_import_hint(
+        self, check_static, monkeypatch, tmp_path, capsys
+    ):
+        check_static.main(["bench"])  # ensure check_bench is imported
+        capsys.readouterr()
+        monkeypatch.setattr(
+            self._check_bench(check_static),
+            "DEFAULT_HISTORY",
+            tmp_path / "absent.jsonl",
+        )
+        assert check_static.main(["bench"]) == 1
+        out = capsys.readouterr().out
+        assert "repro bench record --snapshot BENCH_engine.json" in out
+        assert "static gate failed: bench" in out
+
+    def test_corrupt_history_is_a_section_error(
+        self, check_static, monkeypatch, tmp_path, capsys
+    ):
+        check_static.main(["bench"])
+        capsys.readouterr()
+        corrupt = tmp_path / "corrupt.jsonl"
+        corrupt.write_text("{broken\n")
+        monkeypatch.setattr(
+            self._check_bench(check_static), "DEFAULT_HISTORY", corrupt
+        )
+        assert check_static.main(["bench"]) == 2
+        out = capsys.readouterr().out
+        assert "[ERROR] bench:" in out

@@ -39,6 +39,7 @@ PUBLIC_MODULES = (
     "repro.engine",
     "repro.data",
     "repro.analysis",
+    "repro.bench",
 )
 
 #: Memory addresses and other run-dependent repr noise to normalize.

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
-"""The one static gate: analyzer + API surface + docs, one report.
+"""The one static gate: analyzer + API surface + docs + bench, one report.
 
-Runs three sections and renders them in one unified format:
+Runs four sections and renders them in one unified format:
 
 ``analysis``
     The project's AST rules (``repro.analysis``: DP001/DET001/DET002/
@@ -13,6 +13,10 @@ Runs three sections and renders them in one unified format:
 ``docs``
     The ``repro ...`` invocation validation of ``tools/check_docs.py``
     over README.md and docs/*.md.
+``bench``
+    The benchmark regression gate of ``tools/check_bench.py`` over the
+    committed ``BENCH_history.jsonl`` (enforcing: significant
+    degradation of any tracked key fails; minor shifts warn).
 
 Usage::
 
@@ -22,9 +26,9 @@ Usage::
 
 Exit codes: 0 all sections clean, 1 findings in any section, 2 the
 checker itself failed. CI runs this as the ``static`` job (replacing
-the former separate ``api``/``docs`` jobs); ``check_api.py`` and
-``check_docs.py`` stay runnable standalone (``--update`` blessing
-lives there).
+the former separate ``api``/``docs`` jobs); ``check_api.py``,
+``check_docs.py``, and ``check_bench.py`` stay runnable standalone
+(``--update`` / ``--warn-only`` blessing lives there).
 """
 
 from __future__ import annotations
@@ -39,7 +43,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 SOURCE_TREE = REPO_ROOT / "src" / "repro"
 BASELINE = REPO_ROOT / "tools" / "analysis_baseline.json"
 
-SECTIONS = ("analysis", "api", "docs")
+SECTIONS = ("analysis", "api", "docs", "bench")
 
 
 @dataclass
@@ -140,7 +144,36 @@ def run_docs() -> SectionResult:
     return result
 
 
-_RUNNERS = {"analysis": run_analysis, "api": run_api, "docs": run_docs}
+def run_bench() -> SectionResult:
+    import check_bench
+
+    result = SectionResult("bench")
+    history = check_bench.DEFAULT_HISTORY
+    if not history.is_file():
+        result.problems.append(
+            f"{history}: missing — import the snapshot with "
+            f"`repro bench record --snapshot BENCH_engine.json`"
+        )
+        return result
+    comparisons = check_bench.gate(history_path=history)
+    tracked = 0
+    for comparison in comparisons:
+        tracked += len(comparison.shifts) + len(comparison.new_keys)
+        result.problems.extend(check_bench.problems_of(comparison))
+        result.warnings.extend(check_bench.warnings_of(comparison))
+    result.summary = (
+        f"{tracked} tracked key(s) across {len(comparisons)} "
+        f"bench/scale partition(s)"
+    )
+    return result
+
+
+_RUNNERS = {
+    "analysis": run_analysis,
+    "api": run_api,
+    "docs": run_docs,
+    "bench": run_bench,
+}
 
 
 def run_sections(names: list[str]) -> list[SectionResult]:
