@@ -43,6 +43,11 @@ from repro.experiments.config import ExperimentConfig
 BENCH_RESULTS_FILENAME = "BENCH_engine.json"
 #: Output of any lower-scale run (CI bench-smoke, local pytest).
 BENCH_SMOKE_RESULTS_FILENAME = "BENCH_engine.smoke.json"
+#: The serving daemon's snapshot pair (its own bench partition in the
+#: history: request latency is a different quantity from engine
+#: throughput and must never share a baseline with it).
+BENCH_SERVE_RESULTS_FILENAME = "BENCH_serve.json"
+BENCH_SERVE_SMOKE_RESULTS_FILENAME = "BENCH_serve.smoke.json"
 #: The append-only histories the regression gate reads (see
 #: repro.bench.history for the committed/untracked split).
 BENCH_HISTORY_FILENAME = "BENCH_history.jsonl"
@@ -67,6 +72,9 @@ BENCH_SCALE = BenchScale(
 )
 
 _RECORDS: dict = {}
+#: The serve bench's sink — a separate record (bench="serve") so a
+#: serve-only session never writes an engine snapshot and vice versa.
+_SERVE_RECORDS: dict = {}
 
 
 @pytest.fixture(scope="session")
@@ -87,6 +95,16 @@ def bench_records():
     ``{key: float}`` entries; ``bench_timer`` is the usual writer.
     """
     return _RECORDS
+
+
+@pytest.fixture(scope="session")
+def serve_bench_records():
+    """Session-wide sink for the serving daemon's bench measurements.
+
+    Same shape as ``bench_records`` but assembled into its own
+    ``BenchRecord(bench="serve")`` at session end.
+    """
+    return _SERVE_RECORDS
 
 
 @pytest.fixture(scope="session")
@@ -139,15 +157,14 @@ def _derive_speedups(metrics: dict) -> dict:
     return speedups
 
 
-def pytest_sessionfinish(session, exitstatus):
-    if not _RECORDS:
-        return
+def _emit_record(session, bench: str, metrics: dict, snapshot_name: str):
+    """Write one bench's snapshot + history append (see module doc)."""
     record = BenchRecord(
-        bench="engine",
+        bench=bench,
         scale=BENCH_SCALE,
         python=platform.python_version(),
-        metrics=_RECORDS,
-        speedups=_derive_speedups(_RECORDS),
+        metrics=metrics,
+        speedups=_derive_speedups(metrics) if bench == "engine" else {},
         provenance={
             "source": "pytest-session",
             "created": datetime.datetime.now(datetime.timezone.utc)
@@ -155,16 +172,8 @@ def pytest_sessionfinish(session, exitstatus):
             .isoformat(),
         },
     )
-    # Paper-scale runs refresh the committed snapshot and append to the
-    # committed history (that append is the act of blessing the run as
-    # a baseline); any other scale writes the untracked smoke siblings,
-    # so casual/CI runs never clobber the record yet always produce
-    # fresh numbers for the CI artifact. Anchored to the pytest root
-    # (the repo), not the invocation cwd.
     root = Path(session.config.rootpath)
-    snapshot = root / (
-        BENCH_RESULTS_FILENAME if PAPER_SCALE else BENCH_SMOKE_RESULTS_FILENAME
-    )
+    snapshot = root / snapshot_name
     snapshot.write_text(record.to_snapshot_json())
     history = BenchHistory(
         root
@@ -179,6 +188,37 @@ def pytest_sessionfinish(session, exitstatus):
     if reporter is not None:
         reporter.write_line(f"bench results written to {snapshot}")
         reporter.write_line(
-            f"bench record ({record.scale.key}) appended to {history.path}"
+            f"bench record ({record.bench} @ {record.scale.key}) "
+            f"appended to {history.path}"
+        )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    # Paper-scale runs refresh the committed snapshots and append to
+    # the committed history (that append is the act of blessing the
+    # run as a baseline); any other scale writes the untracked smoke
+    # siblings, so casual/CI runs never clobber the records yet always
+    # produce fresh numbers for the CI artifact. Each sink only writes
+    # when its benches actually ran — a serve-only session must not
+    # emit an empty engine record (or overwrite the committed one),
+    # and vice versa. Anchored to the pytest root (the repo), not the
+    # invocation cwd.
+    if _RECORDS:
+        _emit_record(
+            session,
+            "engine",
+            _RECORDS,
+            BENCH_RESULTS_FILENAME
+            if PAPER_SCALE
+            else BENCH_SMOKE_RESULTS_FILENAME,
+        )
+    if _SERVE_RECORDS:
+        _emit_record(
+            session,
+            "serve",
+            _SERVE_RECORDS,
+            BENCH_SERVE_RESULTS_FILENAME
+            if PAPER_SCALE
+            else BENCH_SERVE_SMOKE_RESULTS_FILENAME,
         )
 

@@ -12,6 +12,7 @@ Subcommands::
     repro experiment regenerate a table/figure of the paper
     repro check      run the project's static-analysis rules
     repro bench      benchmark history: import, compare, report
+    repro serve      run the anonymization service daemon
 
 Dataset arguments accept a planar CSV path, a preprocessed-artifact
 directory, or an ingested registry name (see ``docs/data.md``).
@@ -420,6 +421,71 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=("text", "json"),
         default="text",
         help="report format (json emits the machine-readable schema)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the anonymization service daemon (see docs/serve.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8088,
+        help="0 binds an ephemeral port (printed on the serving line)",
+    )
+    serve.add_argument(
+        "--budget-root",
+        default="serve-budgets",
+        metavar="DIR",
+        help="directory of the per-tenant epsilon account files",
+    )
+    serve.add_argument(
+        "--spool",
+        default="serve-spool",
+        metavar="DIR",
+        help="directory job results are spooled to before streaming",
+    )
+    serve.add_argument(
+        "--tenant",
+        action="append",
+        default=[],
+        metavar="NAME=EPS",
+        help="declare a tenant budget at boot (repeatable); an "
+        "existing account's budget must match",
+    )
+    serve.add_argument(
+        "--registry",
+        default=None,
+        metavar="DIR",
+        help="dataset registry root for name-based dataset refs",
+    )
+    serve.add_argument(
+        "--job-workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="background job-runner pool width",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="batch-engine pool size per warm engine; 0 = one per core",
+    )
+    serve.add_argument(
+        "--executor",
+        choices=("process", "thread", "serial"),
+        default="process",
+        help="batch-engine worker pool kind",
+    )
+    serve.add_argument(
+        "--global-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="batch-engine global-stage thread pool; 1 = in-process",
     )
     return parser
 
@@ -870,6 +936,74 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return max(comparison.exit_code() for comparison in comparisons)
 
 
+def _parse_tenant(spec: str) -> tuple[str, float]:
+    """``NAME=EPS`` → ``(name, budget)`` with a helpful error."""
+    name, sep, raw = spec.partition("=")
+    if not sep or not name:
+        raise ValueError(
+            f"--tenant expects NAME=EPS (a tenant name and its epsilon "
+            f"budget), got {spec!r}"
+        )
+    try:
+        budget = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"--tenant {name}: budget {raw!r} is not a number"
+        ) from None
+    return name, budget
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve`` — boot the daemon, block until interrupted.
+
+    Prints one machine-parsable ``serving on http://host:port`` line
+    once the listener is bound (how callers learn an ephemeral port),
+    then serves until SIGINT, which drains in-flight jobs and closes
+    the warm engines before exiting.
+    """
+    from repro.serve import ServeConfig, Daemon
+
+    try:
+        tenants = tuple(_parse_tenant(spec) for spec in args.tenant)
+    except ValueError as exc:
+        print(f"repro serve: {exc}", file=sys.stderr)
+        return 2
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        budget_root=args.budget_root,
+        spool=args.spool,
+        job_workers=args.job_workers,
+        engine_workers=args.workers,
+        engine_executor=args.executor,
+        global_workers=args.global_workers,
+        tenants=tenants,
+        registry_root=args.registry,
+    )
+    try:
+        daemon = Daemon(config)
+    except (ValueError, OSError) as exc:
+        print(f"repro serve: {exc}", file=sys.stderr)
+        return 2
+    for tenant, jobs in sorted(daemon.recovered.items()):
+        print(
+            f"recovered {len(jobs)} orphaned reservation(s) for "
+            f"tenant {tenant!r} (charged in full)",
+            file=sys.stderr,
+        )
+    host, port = daemon.start()
+    print(f"serving on http://{host}:{port}", flush=True)
+    try:
+        # serve_forever runs on the daemon's own thread; this one
+        # blocks until SIGINT or a POST /v1/shutdown completes.
+        daemon.wait()
+    except KeyboardInterrupt:
+        print("shutting down (draining in-flight jobs)...", flush=True)
+    finally:
+        daemon.shutdown(drain=True)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -883,6 +1017,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiment": _cmd_experiment,
         "check": _cmd_check,
         "bench": _cmd_bench,
+        "serve": _cmd_serve,
     }
     try:
         return handlers[args.command](args)

@@ -54,6 +54,28 @@ META_FILENAME = "meta.json"
 LATEST_FILENAME = "latest"
 
 
+def _write_latest(base: Path, version: str) -> None:
+    """Atomically (re)write the ``latest`` pointer under ``base``.
+
+    A plain ``write_text`` truncates before it writes, so a concurrent
+    reader can observe an empty pointer and mis-resolve; staging the
+    new content in a sibling temp file and ``os.replace``-ing it in
+    means every reader sees either the old version or the new one,
+    never a torn state. Matters to the serving daemon, where many
+    tenants resolve against one registry root while ingests land.
+    """
+    handle = tempfile.NamedTemporaryFile(
+        "w", dir=base, prefix=LATEST_FILENAME + ".", delete=False
+    )
+    try:
+        with handle:
+            handle.write(version)
+        os.replace(handle.name, base / LATEST_FILENAME)
+    except BaseException:
+        os.unlink(handle.name)
+        raise
+
+
 def _sha256_of(path: Path) -> str:
     """Streaming sha256 of a file (constant memory)."""
     digest = hashlib.sha256()
@@ -194,7 +216,7 @@ class DatasetRegistry:
         except BaseException:
             shutil.rmtree(staging, ignore_errors=True)
             raise
-        (target.parent / LATEST_FILENAME).write_text(config.key())
+        _write_latest(target.parent, config.key())
         return IngestResult(name, config.key(), target, stats, fresh=True)
 
     def resolve(self, name: str, version: str | None = None) -> Path:
@@ -226,7 +248,7 @@ class DatasetRegistry:
         # it so the registry is self-consistent from here on. Best
         # effort — a read-only registry root must still resolve.
         try:
-            marker.write_text(versions[-1])
+            _write_latest(base, versions[-1])
         except OSError:
             pass
         return base / versions[-1]
@@ -360,7 +382,7 @@ class DatasetRegistry:
                     and is_artifact(target.parent / marker.read_text().strip())
                 ):
                     try:
-                        marker.write_text(version)
+                        _write_latest(target.parent, version)
                     except OSError:
                         pass
                 return IngestResult(name, version, target, stats, fresh=False)
@@ -371,7 +393,7 @@ class DatasetRegistry:
             # looks like a valid artifact (shutil.move also handles a
             # temp dir on a different filesystem than the root).
             shutil.move(str(extracted), str(target))
-        (target.parent / LATEST_FILENAME).write_text(version)
+        _write_latest(target.parent, version)
         return IngestResult(name, version, target, stats, fresh=True)
 
     def stream(self, name: str, version: str | None = None) -> Iterator[Trajectory]:

@@ -131,8 +131,10 @@ class BatchAnonymizer:
         pipeline uses ``candidate_source="wave"`` (the default). The
         pool is created lazily on first use and **reused** across
         calls and stream chunks; release it deterministically with
-        :meth:`close` or by using the engine as a context manager
-        (a closed engine lazily revives the pool if used again).
+        :meth:`close` or by using the engine as a context manager.
+        Closing is terminal: a closed engine raises ``RuntimeError``
+        on further use (long-lived holders like the serving daemon
+        rely on close meaning *closed*, not *paused*).
     """
 
     def __init__(
@@ -161,8 +163,16 @@ class BatchAnonymizer:
         self._global_pool = None
         self._global_pool_unavailable = False
         self._global_pool_lock = threading.Lock()
+        self._closed = False
 
     # -- pool lifecycle ---------------------------------------------------------
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(
+                "BatchAnonymizer is closed; build a new engine instead "
+                "of reusing a closed one"
+            )
 
     def _ensure_global_pool(self):
         """The wave-planning thread pool, created once and reused.
@@ -176,6 +186,7 @@ class BatchAnonymizer:
         if self.global_workers <= 1:
             return None
         with self._global_pool_lock:
+            self._ensure_open()
             if self._global_pool_unavailable:
                 return None
             if self._global_pool is None:
@@ -187,22 +198,25 @@ class BatchAnonymizer:
             return self._global_pool
 
     def close(self) -> None:
-        """Shut the shared wave-planning pool down deterministically.
+        """Shut the engine down deterministically: idempotent, terminal.
 
-        Idempotent. A closed engine remains usable — the pool is
-        simply re-created lazily on the next call. Like shutting any
-        executor, ``close`` must not race calls still in flight: let
-        concurrent ``anonymize*`` calls finish first (the context-
-        manager form sequences this naturally).
+        Releases the shared wave-planning pool; any later
+        ``anonymize*`` call (or context-manager re-entry) raises
+        ``RuntimeError`` — long-lived holders depend on a closed
+        engine staying closed rather than silently reviving its pool.
+        Like shutting any executor, ``close`` must not race calls
+        still in flight: let concurrent ``anonymize*`` calls finish
+        first (the context-manager form sequences this naturally).
         """
         with self._global_pool_lock:
+            self._closed = True
             pool = self._global_pool
             self._global_pool = None
-            self._global_pool_unavailable = False
         if pool is not None:
             pool.shutdown(wait=True)
 
     def __enter__(self) -> "BatchAnonymizer":
+        self._ensure_open()
         return self
 
     def __exit__(self, *exc_info) -> None:
@@ -254,6 +268,7 @@ class BatchAnonymizer:
         created lazily on the first call and reused by every later
         call and stream chunk; see :meth:`close`.
         """
+        self._ensure_open()
         pool = self._ensure_global_pool()
         if pool is not None:
             hooks.setdefault(
@@ -280,7 +295,16 @@ class BatchAnonymizer:
         runs chunks through :meth:`anonymize_with_report` directly, so
         the lazily-created wave-planning pool is shared across all
         chunks instead of being rebuilt per chunk.
+
+        A closed engine refuses eagerly, at the call — not on first
+        iteration of the returned generator.
         """
+        self._ensure_open()
+        return self._anonymize_stream_inner(datasets)
+
+    def _anonymize_stream_inner(
+        self, datasets: Iterable[TrajectoryDataset]
+    ) -> Iterator[tuple[TrajectoryDataset, AnonymizationReport]]:
         if self.workers <= 1 or self.executor == "serial":
             for dataset in datasets:
                 result, report = self.anonymize_with_report(

@@ -1,0 +1,513 @@
+"""Per-tenant epsilon budget accounts for the serving daemon.
+
+A *tenant* is a named consumer of DP releases with a **declared epsilon
+budget**: the total privacy loss the data owner is willing to grant
+that consumer across every request they will ever make. The daemon
+refuses a job whose worst-case spend does not fit in the tenant's
+remaining budget — that is what "serving DP releases" means
+operationally, and it is the piece no single-run accountant provides.
+
+Each tenant's account is one **append-only JSONL file** under the
+budget root (``<root>/<tenant>.account.jsonl``). The first line
+declares the budget; every later line is one of three events in a
+job's life:
+
+``reserve``
+    Admission control: the job's worst-case ``eps_total`` is set aside
+    *before* execution, so two concurrent requests can never both be
+    admitted against the same remaining budget.
+``commit``
+    The job succeeded. The entry embeds the run's full
+    :class:`~repro.core.accounting.CompositionLedger` JSON, so the
+    account file carries its own auditable per-draw accounting, and the
+    *actual* composed spend (never more than the reservation; it may be
+    less, e.g. a disabled stage) is what the tenant is charged.
+``release``
+    The job failed before producing a release; the reservation returns
+    to the tenant.
+
+Replaying the file rebuilds the account and **re-validates every
+invariant**: the ledger of each commit must round-trip (a tampered or
+truncated ledger is rejected by
+:meth:`CompositionLedger.from_dict`), commits must match their
+reservations, and the running total may never exceed the declared
+budget. A file that breaks any of these raises :class:`AccountError`
+instead of silently loading — tampering cannot survive a restart.
+
+Crash recovery is **conservative**: a reservation with no commit and
+no release (the daemon died mid-job) may have drawn noise before the
+crash, so :meth:`BudgetStore.recover` charges it in full (a commit
+entry with ``ledger: null``) rather than refunding epsilon that may
+already have leaked. Refusing to guess is the only sound direction.
+
+Concurrency: all mutating operations on one account are serialized by
+a per-tenant lock, and the admission check and the reservation append
+happen under the same lock acquisition — so N racing requests can
+never jointly commit more than the declared budget (property-tested).
+The store assumes a single daemon process owns the budget root.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+from repro.core.accounting import CompositionLedger
+
+__all__ = [
+    "ACCOUNT_SUFFIX",
+    "AccountError",
+    "BudgetExceededError",
+    "BudgetStore",
+    "TenantAccount",
+    "UnknownTenantError",
+]
+
+#: Account files are ``<tenant><ACCOUNT_SUFFIX>`` under the budget root.
+ACCOUNT_SUFFIX = ".account.jsonl"
+
+#: Slack for float comparisons between a commit and its reservation.
+_TOLERANCE = 1e-9
+
+
+class AccountError(ValueError):
+    """An account file is malformed, tampered with, or oversubscribed."""
+
+
+class UnknownTenantError(KeyError):
+    """No account is declared for the named tenant."""
+
+    def __init__(self, tenant: str) -> None:
+        super().__init__(tenant)
+        self.tenant = tenant
+
+    def __str__(self) -> str:
+        return (
+            f"no budget account declared for tenant {self.tenant!r}; "
+            f"declare one before submitting jobs"
+        )
+
+
+class BudgetExceededError(Exception):
+    """Admission refused: the job does not fit the remaining budget.
+
+    Carries the structured refusal contract the daemon serializes as
+    its 429-style response body (:meth:`to_dict`).
+    """
+
+    def __init__(
+        self, tenant: str, requested: float, remaining: float, budget: float
+    ) -> None:
+        super().__init__(
+            f"tenant {tenant!r} requested eps={requested:g} but only "
+            f"{remaining:g} of the declared budget {budget:g} remains"
+        )
+        self.tenant = tenant
+        self.requested = requested
+        self.remaining = remaining
+        self.budget = budget
+
+    def to_dict(self) -> dict:
+        return {
+            "error": "budget-exhausted",
+            "tenant": self.tenant,
+            "requested": self.requested,
+            "remaining": self.remaining,
+            "budget": self.budget,
+        }
+
+
+def _validate_budget(budget: float, tenant: str) -> float:
+    budget = float(budget)
+    if math.isnan(budget) or math.isinf(budget) or budget <= 0.0:
+        raise AccountError(
+            f"tenant {tenant!r} budget must be a positive finite epsilon, "
+            f"got {budget!r}"
+        )
+    return budget
+
+
+def _validate_epsilon(epsilon: float, label: str) -> float:
+    epsilon = float(epsilon)
+    if math.isnan(epsilon) or math.isinf(epsilon) or epsilon <= 0.0:
+        raise AccountError(
+            f"{label} must reserve a positive finite epsilon, got {epsilon!r}"
+        )
+    return epsilon
+
+
+@dataclass
+class TenantAccount:
+    """One tenant's replayed account state plus its append log.
+
+    Mutate only through :class:`BudgetStore` — the store wraps every
+    mutation in :attr:`lock`, and the admission check shares that
+    acquisition with the reservation append (the no-overspend
+    invariant).
+    """
+
+    tenant: str
+    budget: float
+    path: Path
+    #: ``job -> reserved epsilon`` of jobs admitted but not yet settled.
+    pending: dict = field(default_factory=dict)
+    #: ``job -> charged epsilon`` of settled (committed) jobs.
+    committed: dict = field(default_factory=dict)
+    #: Jobs whose reservations were released (failures), with reasons.
+    released: dict = field(default_factory=dict)
+    lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    @property
+    def spent(self) -> float:
+        """Epsilon charged by committed jobs."""
+        return sum(self.committed.values())
+
+    @property
+    def reserved(self) -> float:
+        """Epsilon held by in-flight reservations."""
+        return sum(self.pending.values())
+
+    @property
+    def remaining(self) -> float:
+        """What a new reservation may still claim."""
+        return self.budget - self.spent - self.reserved
+
+    def status(self) -> dict:
+        """JSON-serialisable account summary (the daemon's tenant view)."""
+        return {
+            "tenant": self.tenant,
+            "budget": self.budget,
+            "spent": self.spent,
+            "reserved": self.reserved,
+            "remaining": self.remaining,
+            "jobs": {
+                "pending": sorted(self.pending),
+                "committed": sorted(self.committed),
+                "released": sorted(self.released),
+            },
+        }
+
+    # -- append log ---------------------------------------------------------
+
+    def _append(self, entry: Mapping) -> None:
+        """Durably append one event line (fsync'd: recovery reads this)."""
+        line = json.dumps(entry, sort_keys=True, separators=(",", ":"))
+        with self.path.open("a") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    # -- replay -------------------------------------------------------------
+
+    @classmethod
+    def load(cls, tenant: str, path: Path) -> "TenantAccount":
+        """Replay an account file, re-validating every invariant."""
+        lines = [
+            (number, line)
+            for number, line in enumerate(
+                path.read_text().splitlines(), start=1
+            )
+            if line.strip()
+        ]
+        if not lines:
+            raise AccountError(f"{path}: empty account file")
+
+        def entry_of(number: int, line: str) -> dict:
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise AccountError(f"{path}:{number}: invalid JSON: {exc}") from exc
+            if not isinstance(payload, dict) or "kind" not in payload:
+                raise AccountError(
+                    f"{path}:{number}: entry must be an object with a 'kind'"
+                )
+            return payload
+
+        first = entry_of(*lines[0])
+        if first["kind"] != "declare" or first.get("tenant") != tenant:
+            raise AccountError(
+                f"{path}:1: first entry must declare tenant {tenant!r}, "
+                f"got {first!r}"
+            )
+        account = cls(
+            tenant=tenant,
+            budget=_validate_budget(first.get("budget"), tenant),
+            path=path,
+        )
+        for number, line in lines[1:]:
+            entry = entry_of(number, line)
+            account._replay(entry, f"{path}:{number}")
+        return account
+
+    def _replay(self, entry: Mapping, where: str) -> None:
+        kind = entry["kind"]
+        job = entry.get("job")
+        if not job or not isinstance(job, str):
+            raise AccountError(f"{where}: {kind} entry names no job")
+        if kind == "reserve":
+            # A released job id may be re-reserved (a retried request);
+            # a pending or committed one may not.
+            if job in self.pending or job in self.committed:
+                raise AccountError(f"{where}: duplicate reservation for {job!r}")
+            epsilon = _validate_epsilon(
+                entry.get("epsilon"), f"{where}: reservation {job!r}"
+            )
+            if epsilon > self.remaining + _TOLERANCE:
+                raise AccountError(
+                    f"{where}: reservation {job!r} (eps={epsilon:g}) "
+                    f"oversubscribes the declared budget {self.budget:g} "
+                    f"(remaining {self.remaining:g})"
+                )
+            self.pending[job] = epsilon
+        elif kind == "commit":
+            if job not in self.pending:
+                raise AccountError(
+                    f"{where}: commit for {job!r} without a live reservation"
+                )
+            reserved = self.pending[job]
+            charged = _validate_epsilon(
+                entry.get("epsilon"), f"{where}: commit {job!r}"
+            )
+            ledger_payload = entry.get("ledger")
+            if ledger_payload is not None:
+                try:
+                    ledger = CompositionLedger.from_dict(ledger_payload)
+                except (ValueError, KeyError, TypeError) as exc:
+                    raise AccountError(
+                        f"{where}: commit {job!r} carries a ledger that "
+                        f"does not round-trip: {exc}"
+                    ) from exc
+                if not math.isclose(
+                    ledger.epsilon_total, charged, rel_tol=1e-9, abs_tol=1e-9
+                ):
+                    raise AccountError(
+                        f"{where}: commit {job!r} charges eps={charged:g} "
+                        f"but its ledger composes to "
+                        f"{ledger.epsilon_total:g}"
+                    )
+            if charged > reserved + _TOLERANCE:
+                raise AccountError(
+                    f"{where}: commit {job!r} charges eps={charged:g}, "
+                    f"more than its reservation {reserved:g}"
+                )
+            del self.pending[job]
+            self.committed[job] = charged
+        elif kind == "release":
+            if job not in self.pending:
+                raise AccountError(
+                    f"{where}: release for {job!r} without a live reservation"
+                )
+            del self.pending[job]
+            self.released[job] = str(entry.get("reason") or "")
+        else:
+            raise AccountError(f"{where}: unknown entry kind {kind!r}")
+
+
+class BudgetStore:
+    """Disk-backed registry of tenant budget accounts.
+
+    One instance per daemon; accounts are loaded lazily and cached, and
+    every mutation holds the account's lock across both the admission
+    check and the durable append.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self._accounts: dict[str, TenantAccount] = {}
+        self._lock = threading.Lock()
+
+    def account_path(self, tenant: str) -> Path:
+        if (
+            not tenant
+            or tenant in (".", "..")
+            or "/" in tenant
+            or os.sep in tenant
+            or (os.altsep and os.altsep in tenant)
+            or tenant.startswith(".")
+        ):
+            raise AccountError(
+                f"tenant name {tenant!r} is not a plain path segment"
+            )
+        return self.root / f"{tenant}{ACCOUNT_SUFFIX}"
+
+    def tenants(self) -> list[str]:
+        """Every tenant with a declared account, sorted."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            p.name[: -len(ACCOUNT_SUFFIX)]
+            for p in self.root.iterdir()
+            if p.name.endswith(ACCOUNT_SUFFIX)
+        )
+
+    # -- account access -----------------------------------------------------
+
+    def account(self, tenant: str) -> TenantAccount:
+        """The cached (or replayed-from-disk) account of ``tenant``."""
+        with self._lock:
+            cached = self._accounts.get(tenant)
+            if cached is not None:
+                return cached
+            path = self.account_path(tenant)
+            if not path.is_file():
+                raise UnknownTenantError(tenant)
+            account = TenantAccount.load(tenant, path)
+            self._accounts[tenant] = account
+            return account
+
+    def declare(self, tenant: str, budget: float) -> TenantAccount:
+        """Create (or re-open) the account of ``tenant``.
+
+        Declaring an existing tenant is idempotent when the budget
+        matches; a *different* budget is refused — raising a tenant's
+        budget is a new privacy decision that must not happen as a
+        side effect of a restart.
+        """
+        path = self.account_path(tenant)
+        with self._lock:
+            existing = self._accounts.get(tenant)
+            if existing is None and path.is_file():
+                existing = TenantAccount.load(tenant, path)
+                self._accounts[tenant] = existing
+            if existing is not None:
+                if not math.isclose(
+                    existing.budget, float(budget), rel_tol=1e-9, abs_tol=1e-9
+                ):
+                    raise AccountError(
+                        f"tenant {tenant!r} already declared with budget "
+                        f"{existing.budget:g}; refusing to re-declare as "
+                        f"{float(budget):g}"
+                    )
+                return existing
+            budget = _validate_budget(budget, tenant)
+            self.root.mkdir(parents=True, exist_ok=True)
+            account = TenantAccount(tenant=tenant, budget=budget, path=path)
+            account._append(
+                {"kind": "declare", "tenant": tenant, "budget": budget}
+            )
+            self._accounts[tenant] = account
+            return account
+
+    # -- the reserve / commit / release protocol ----------------------------
+
+    def reserve(self, tenant: str, job: str, epsilon: float) -> None:
+        """Admit ``job`` by setting ``epsilon`` aside, or refuse.
+
+        The admission check and the reservation append share one lock
+        acquisition: concurrent reservations against one account are
+        serialized, so the sum of admitted epsilons can never exceed
+        the declared budget.
+        """
+        account = self.account(tenant)
+        epsilon = _validate_epsilon(epsilon, f"job {job!r}")
+        with account.lock:
+            if job in account.pending or job in account.committed:
+                raise AccountError(
+                    f"job {job!r} already holds a reservation for "
+                    f"tenant {tenant!r}"
+                )
+            if epsilon > account.remaining + _TOLERANCE:
+                raise BudgetExceededError(
+                    tenant=tenant,
+                    requested=epsilon,
+                    remaining=max(account.remaining, 0.0),
+                    budget=account.budget,
+                )
+            account._append(
+                {"kind": "reserve", "job": job, "epsilon": epsilon}
+            )
+            account.pending[job] = epsilon
+
+    def commit(
+        self, tenant: str, job: str, ledger: CompositionLedger | None
+    ) -> float:
+        """Settle a successful job; returns the epsilon charged.
+
+        With a ledger, the charge is its composed ``epsilon_total``
+        (validated against the reservation — never more); without one
+        (a method that publishes no composition ledger, or crash
+        recovery) the full reservation is charged conservatively.
+        """
+        account = self.account(tenant)
+        with account.lock:
+            if job not in account.pending:
+                raise AccountError(
+                    f"commit for job {job!r} of tenant {tenant!r} without "
+                    f"a live reservation"
+                )
+            reserved = account.pending[job]
+            if ledger is None:
+                charged = reserved
+                payload = None
+            else:
+                charged = ledger.epsilon_total
+                payload = ledger.to_dict()
+                if charged > reserved + _TOLERANCE:
+                    raise AccountError(
+                        f"job {job!r} composed eps={charged:g}, more than "
+                        f"its reservation {reserved:g} — refusing to "
+                        f"commit an overspend"
+                    )
+                if charged <= 0.0:
+                    # A ledger with no draws (nothing was spent): settle
+                    # as a release, not a zero-epsilon commit.
+                    account._append(
+                        {"kind": "release", "job": job, "reason": "no draws"}
+                    )
+                    del account.pending[job]
+                    account.released[job] = "no draws"
+                    return 0.0
+            account._append(
+                {"kind": "commit", "job": job, "epsilon": charged,
+                 "ledger": payload}
+            )
+            del account.pending[job]
+            account.committed[job] = charged
+            return charged
+
+    def release(self, tenant: str, job: str, reason: str = "") -> None:
+        """Return a failed job's reservation to the tenant."""
+        account = self.account(tenant)
+        with account.lock:
+            if job not in account.pending:
+                raise AccountError(
+                    f"release for job {job!r} of tenant {tenant!r} without "
+                    f"a live reservation"
+                )
+            account._append(
+                {"kind": "release", "job": job, "reason": reason}
+            )
+            del account.pending[job]
+            account.released[job] = reason
+
+    # -- crash recovery -----------------------------------------------------
+
+    def recover(self) -> dict[str, list[str]]:
+        """Settle reservations orphaned by a crash, conservatively.
+
+        A reservation with neither commit nor release means the
+        previous process died mid-job — *after* admission, possibly
+        after drawing noise. The epsilon may already have leaked, so
+        each orphan is committed in full (``ledger: null``) rather
+        than refunded. Returns ``{tenant: [job, ...]}`` of what was
+        recovered, so the daemon can log it.
+        """
+        recovered: dict[str, list[str]] = {}
+        for tenant in self.tenants():
+            account = self.account(tenant)
+            with account.lock:
+                for job in sorted(account.pending):
+                    reserved = account.pending[job]
+                    account._append(
+                        {"kind": "commit", "job": job, "epsilon": reserved,
+                         "ledger": None}
+                    )
+                    del account.pending[job]
+                    account.committed[job] = reserved
+                    recovered.setdefault(tenant, []).append(job)
+        return recovered

@@ -1,0 +1,94 @@
+"""Warm anonymizer instances shared across daemon requests.
+
+Building a :class:`~repro.engine.BatchAnonymizer` per request would
+pay pool construction on every job; the daemon instead keeps one warm
+engine per distinct :class:`~repro.api.spec.MethodSpec` digest and
+routes every job with that configuration through it. Concurrent calls
+on one engine are safe by design (reports travel with the return
+value, noise streams are reserved per call), so the cache needs no
+per-engine serialization — only its own map lock.
+
+Frequency-family methods get the batch engine (warm worker pools);
+other families are cached as their bare anonymizer — they have no
+pool to keep warm, but construction (e.g. a fitted generative
+baseline's setup) is still amortized.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.api.registry import build
+from repro.api.spec import MethodSpec
+from repro.core.pipeline import FrequencyAnonymizer
+from repro.engine.batch import BatchAnonymizer
+
+__all__ = ["EngineCache"]
+
+
+class EngineCache:
+    """``spec.digest -> warm anonymizer`` map with a close lifecycle.
+
+    Parameters mirror the batch engine's pool knobs; they apply to
+    every frequency-family engine the cache builds.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        executor: str = "process",
+        shards_per_worker: int = 4,
+        global_workers: int | None = 1,
+    ) -> None:
+        self.workers = workers
+        self.executor = executor
+        self.shards_per_worker = shards_per_worker
+        self.global_workers = global_workers
+        self._engines: dict[str, object] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def __len__(self) -> int:
+        return len(self._engines)
+
+    def get(self, spec: MethodSpec):
+        """The warm engine for ``spec``, building it on first use."""
+        key = spec.digest
+        with self._lock:
+            if self._closed:
+                raise RuntimeError(
+                    "EngineCache is closed; the daemon is shutting down"
+                )
+            engine = self._engines.get(key)
+            if engine is None:
+                anonymizer = build(spec)
+                if isinstance(anonymizer, FrequencyAnonymizer):
+                    engine = BatchAnonymizer(
+                        anonymizer,
+                        workers=self.workers,
+                        executor=self.executor,
+                        shards_per_worker=self.shards_per_worker,
+                        global_workers=self.global_workers,
+                    )
+                else:
+                    engine = anonymizer
+                self._engines[key] = engine
+            return engine
+
+    def close(self) -> None:
+        """Tear every warm engine down; idempotent and terminal.
+
+        Callers must drain in-flight jobs first — closing an engine
+        must not race calls still using it (the runner's shutdown
+        sequence does exactly that).
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            engines = list(self._engines.values())
+            self._engines.clear()
+        for engine in engines:
+            close = getattr(engine, "close", None)
+            if callable(close):
+                close()

@@ -1,0 +1,306 @@
+"""Background job execution for the serving daemon.
+
+The daemon splits into a sync API layer (:mod:`repro.serve.daemon`)
+and this runner: :meth:`JobRunner.submit` performs validation and
+budget admission on the caller's thread and returns immediately; the
+accepted job then executes on a background worker pool driven by
+:func:`~repro.engine.pool.parallel_map_stream` over a blocking queue,
+against the process-wide warm :class:`~repro.serve.engines.EngineCache`.
+
+A job's life::
+
+    submit  -> queued      (eps_total reserved against the tenant)
+    run     -> running
+    success -> done        (ledger committed; result CSV in the spool)
+    failure -> failed      (reservation released)
+
+Determinism: frequency-family jobs run with a **pinned call index**
+(0), so a job's output depends only on ``(dataset, spec, seed)`` —
+byte-identical to ``repro anonymize --engine batch`` with the same
+inputs, no matter how many requests the long-lived engine served
+before it. Re-running a job re-publishes the *same* release (same
+noise), which is why each job is still charged: the daemon refuses to
+assume two requests are intentional replays.
+
+Thread-safety: job state transitions and the id counter are guarded
+by the runner lock; the worker callable (``_execute``) reaches shared
+state only through that lock or the budget store's per-account locks
+(``repro check``'s RACE001 traces reachability from the
+``parallel_map_stream`` entry point below).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+from repro.api.registry import build
+from repro.api.session import as_spec
+from repro.api.spec import MethodSpec
+from repro.core.pipeline import FrequencyAnonymizer
+from repro.data.registry import DatasetRegistry, _resolve_ref, load_dataset
+from repro.engine.batch import BatchAnonymizer
+from repro.engine.pool import parallel_map_stream
+from repro.serve.budget import BudgetStore
+from repro.serve.engines import EngineCache
+
+__all__ = ["JOB_STATES", "Job", "JobRunner"]
+
+#: Every state a job can be observed in, in lifecycle order.
+JOB_STATES = ("queued", "running", "done", "failed")
+
+
+@dataclass
+class Job:
+    """One submitted anonymization job; mutated only under the runner
+    lock, read freely by API threads via :meth:`to_dict` snapshots."""
+
+    id: str
+    tenant: str
+    spec: MethodSpec
+    dataset: str
+    eps_total: float
+    state: str = "queued"
+    error: str | None = None
+    #: Epsilon actually charged on commit (≤ eps_total; 0 until done).
+    eps_charged: float = 0.0
+    #: The run's report summary (``AnonymizationReport.to_dict``).
+    report: dict | None = None
+    #: Where the runner spooled the anonymized CSV (done jobs only).
+    result_path: Path | None = None
+    seconds: float = 0.0
+    trajectories: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def to_dict(self) -> dict:
+        """Consistent JSON snapshot of the job (one lock acquisition)."""
+        with self._lock:
+            return {
+                "id": self.id,
+                "tenant": self.tenant,
+                "state": self.state,
+                "dataset": self.dataset,
+                "spec": self.spec.to_dict(),
+                "digest": self.spec.digest,
+                "eps_total": self.eps_total,
+                "eps_charged": self.eps_charged,
+                "trajectories": self.trajectories,
+                "seconds": self.seconds,
+                "error": self.error,
+                "result_ready": self.state == "done",
+            }
+
+
+def epsilon_of(spec: MethodSpec, anonymizer) -> float:
+    """A job's worst-case end-to-end epsilon, from its built method.
+
+    Frequency pipelines and the DP baselines expose ``epsilon``; a
+    method without one (the non-DP baselines) spends nothing and needs
+    no reservation.
+    """
+    epsilon = getattr(anonymizer, "epsilon", None)
+    if epsilon is None:
+        epsilon = spec.params.get("epsilon")
+    if epsilon is None:
+        return 0.0
+    return float(epsilon)
+
+
+class JobRunner:
+    """The background half of the daemon: a queue, a worker pool, and
+    the reserve/commit/release protocol around every execution."""
+
+    #: Queue sentinel that ends the job stream at shutdown.
+    _DONE = object()
+
+    def __init__(
+        self,
+        store: BudgetStore,
+        engines: EngineCache,
+        spool: str | Path,
+        workers: int = 2,
+        registry: DatasetRegistry | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be at least 1, got {workers}")
+        self.store = store
+        self.engines = engines
+        self.spool = Path(spool)
+        self.spool.mkdir(parents=True, exist_ok=True)
+        self.workers = workers
+        self.registry = registry
+        self._jobs: dict[str, Job] = {}
+        self._queue: queue.Queue = queue.Queue()
+        self._lock = threading.Lock()
+        self._sequence = 0
+        self._closed = False
+        self._drain = True
+        self._pump = threading.Thread(
+            target=self._run_pump, name="repro-serve-jobs", daemon=True
+        )
+        self._pump.start()
+
+    # -- the sync half: admission -------------------------------------------
+
+    def submit(self, tenant: str, spec, dataset: str) -> Job:
+        """Validate, reserve the budget, and enqueue; returns the job.
+
+        Raises :class:`~repro.serve.budget.BudgetExceededError` (the
+        structured refusal), :class:`~repro.serve.budget.UnknownTenantError`,
+        or ``ValueError``/``KeyError``/``FileNotFoundError`` for a bad
+        spec or dataset reference — all *before* anything is queued.
+        """
+        spec = as_spec(spec)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError(
+                    "the job runner is shutting down; not accepting jobs"
+                )
+            self._sequence += 1
+            job_id = f"job-{self._sequence:06d}"
+        # Build once to validate the spec and learn its epsilon; the
+        # instance is discarded (execution uses the warm cache), but a
+        # bad parameter set is refused here, on the caller's thread.
+        anonymizer = build(spec)
+        eps_total = epsilon_of(spec, anonymizer)
+        _resolve_ref(dataset, self.registry)  # unknown refs refuse here too
+        job = Job(
+            id=job_id,
+            tenant=tenant,
+            spec=spec,
+            dataset=str(dataset),
+            eps_total=eps_total,
+        )
+        if eps_total > 0.0:
+            self.store.reserve(tenant, job.id, eps_total)
+        with self._lock:
+            self._jobs[job.id] = job
+        self._queue.put(job)
+        return job
+
+    def get(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list[Job]:
+        with self._lock:
+            return [self._jobs[key] for key in sorted(self._jobs)]
+
+    # -- the async half: execution ------------------------------------------
+
+    def _pending(self) -> Iterator[Job]:
+        """Block on the queue until the shutdown sentinel arrives."""
+        while True:
+            item = self._queue.get()
+            if item is self._DONE:
+                return
+            yield item
+
+    def _run_pump(self) -> None:
+        # parallel_map_stream pulls jobs only as pool slots free up and
+        # yields them back in order; iterating it to exhaustion IS the
+        # runner's lifetime. Thread executor: jobs share the warm
+        # engine cache, and the engines' own pools provide the
+        # CPU-level parallelism.
+        for _ in parallel_map_stream(
+            self._execute,
+            self._pending(),
+            workers=self.workers,
+            executor="thread",
+        ):
+            pass
+
+    def _execute(self, job: Job) -> Job:
+        """Worker: run one job end to end; never raises (the job
+        carries its failure)."""
+        with job._lock:
+            if self._abandoning():
+                job.state = "failed"
+                job.error = "daemon shut down before the job ran"
+            else:
+                job.state = "running"
+        if job.state == "failed":
+            self._settle_failure(job)
+            return job
+        started = time.perf_counter()
+        try:
+            result_path = self._run(job)
+        except Exception as exc:  # noqa: BLE001 — the job carries it
+            with job._lock:
+                job.state = "failed"
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.seconds = time.perf_counter() - started
+            self._settle_failure(job)
+            return job
+        with job._lock:
+            job.result_path = result_path
+            job.seconds = time.perf_counter() - started
+            job.state = "done"
+        return job
+
+    def _run(self, job: Job) -> Path:
+        """Execute the anonymization and spool the result atomically."""
+        from repro.trajectory.io import write_csv
+
+        engine = self.engines.get(job.spec)
+        dataset = load_dataset(job.dataset, self.registry)
+        if isinstance(engine, BatchAnonymizer):
+            # Pinned call index: output depends only on (dataset, spec,
+            # seed) — byte-identical to a fresh `--engine batch` run.
+            result, report = engine.anonymize_with_report(
+                dataset, call_index=0
+            )
+        elif isinstance(engine, FrequencyAnonymizer):
+            result, report = engine.anonymize_with_report(
+                dataset, call_index=0
+            )
+        elif hasattr(engine, "anonymize_with_report"):
+            result, report = engine.anonymize_with_report(dataset)
+        else:
+            result, report = engine.anonymize(dataset), None
+        target = self.spool / f"{job.id}.csv"
+        staging = target.with_suffix(".tmp")
+        write_csv(result, staging)
+        staging.replace(target)
+        ledger = None if report is None else report.accounting
+        charged = 0.0
+        if job.eps_total > 0.0:
+            charged = self.store.commit(job.tenant, job.id, ledger)
+        with job._lock:
+            job.eps_charged = charged
+            job.trajectories = len(result)
+            job.report = None if report is None else report.to_dict()
+        return target
+
+    def _settle_failure(self, job: Job) -> None:
+        if job.eps_total > 0.0:
+            self.store.release(
+                job.tenant, job.id, reason=job.error or "failed"
+            )
+
+    def _abandoning(self) -> bool:
+        with self._lock:
+            return self._closed and not self._drain
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self, drain: bool = True) -> None:
+        """Stop accepting jobs and shut the pump down; idempotent.
+
+        ``drain=True`` (the default) lets every queued and in-flight
+        job finish; ``drain=False`` fails queued jobs immediately
+        (their reservations are released — they never executed).
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._drain = drain
+        self._queue.put(self._DONE)
+        self._pump.join()

@@ -26,7 +26,10 @@ class TestSpec:
         assert set(spec) == {
             "generate", "ingest", "methods", "anonymize", "publish",
             "attack", "evaluate", "experiment", "check", "bench",
+            "serve",
         }
+        assert "--tenant" in spec["serve"]["options"]
+        assert "--budget-root" in spec["serve"]["options"]
         assert "--engine" in spec["anonymize"]["options"]
         assert "--method" in spec["anonymize"]["options"]
         assert "--param" in spec["anonymize"]["options"]

@@ -522,6 +522,81 @@ class TestLatestPointer:
         assert registry.resolve("fleet") == result.path
         assert marker.read_text().strip() == result.version
 
+    def test_concurrent_resolve_during_repair_is_consistent(
+        self, planar_csv, tmp_path
+    ):
+        """Simultaneous readers hitting a missing pointer (all of them
+        racing to repair it) must every one resolve to the same valid
+        artifact, and leave a valid pointer behind — the daemon serves
+        many tenants against one registry root."""
+        import threading
+
+        registry, first, second = self._two_versions(
+            planar_csv, tmp_path / "reg"
+        )
+        marker = tmp_path / "reg" / "fleet" / "latest"
+        marker.unlink()
+        n = 8
+        barrier = threading.Barrier(n)
+        results, errors = [], []
+
+        def reader():
+            try:
+                barrier.wait()
+                results.append(registry.resolve("fleet"))
+            except Exception as exc:  # noqa: BLE001 — collected for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert set(results) == {second.path}
+        assert marker.read_text().strip() == second.version
+
+    def test_pointer_rewrite_is_atomic_under_readers(
+        self, planar_csv, tmp_path
+    ):
+        """Readers racing a pointer rewrite must never observe a torn
+        (empty or partial) pointer: the rewrite stages a temp file and
+        replaces it in. A plain truncating write fails this."""
+        import threading
+
+        from repro.data.registry import _write_latest
+
+        registry, first, second = self._two_versions(
+            planar_csv, tmp_path / "reg"
+        )
+        base = tmp_path / "reg" / "fleet"
+        marker = base / "latest"
+        valid_texts = {first.version, second.version}
+        valid_paths = {first.path, second.path}
+        stop = threading.Event()
+        errors = []
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    assert marker.read_text().strip() in valid_texts
+                    assert registry.resolve("fleet") in valid_paths
+                except Exception as exc:  # noqa: BLE001 — for assert
+                    errors.append(exc)
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for i in range(200):
+            _write_latest(
+                base, first.version if i % 2 else second.version
+            )
+        stop.set()
+        for t in threads:
+            t.join()
+        assert not errors
+
     def test_import_cache_hit_repairs_dangling_pointer(
         self, planar_csv, tmp_path
     ):

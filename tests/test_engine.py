@@ -260,16 +260,30 @@ class TestGlobalPoolLifecycle:
         assert engine._global_pool is pool
         engine.close()
 
-    def test_close_is_idempotent_and_reentrant(self, fleet):
+    def test_close_is_idempotent_and_terminal(self, fleet):
         engine = self._engine()
         engine.anonymize_with_report(fleet.dataset)
         engine.close()
         assert engine._global_pool is None
         engine.close()  # idempotent
-        # A closed engine lazily revives the pool when used again.
-        _, report = engine.anonymize_with_report(fleet.dataset)
-        assert report is not None
-        engine.close()
+        # Terminal: a closed engine refuses every entry point rather
+        # than silently reviving its pool (long-lived holders like the
+        # serving daemon depend on close meaning closed).
+        with pytest.raises(RuntimeError, match="closed"):
+            engine.anonymize_with_report(fleet.dataset)
+        with pytest.raises(RuntimeError, match="closed"):
+            engine.anonymize(fleet.dataset)
+        with pytest.raises(RuntimeError, match="closed"):
+            engine.anonymize_stream([fleet.dataset])  # eager, no next()
+        assert engine._global_pool is None
+
+    def test_context_manager_reentry_rejected_after_close(self, fleet):
+        engine = self._engine()
+        with engine:
+            engine.anonymize_with_report(fleet.dataset)
+        with pytest.raises(RuntimeError, match="closed"):
+            with engine:
+                pass  # pragma: no cover — __enter__ must refuse
 
     def test_no_pool_when_global_workers_is_one(self, fleet):
         engine = BatchAnonymizer(

@@ -1,0 +1,242 @@
+"""Tests for the daemon's background half: EngineCache + JobRunner."""
+
+import threading
+import time
+
+import pytest
+
+from repro.api.spec import MethodSpec
+from repro.datagen.generator import FleetConfig, generate_fleet
+from repro.engine.batch import BatchAnonymizer
+from repro.serve.budget import (
+    BudgetExceededError,
+    BudgetStore,
+    UnknownTenantError,
+)
+from repro.serve.engines import EngineCache
+from repro.serve.jobs import JobRunner, epsilon_of
+from repro.trajectory.io import write_csv
+
+
+@pytest.fixture(scope="module")
+def dataset_csv(tmp_path_factory):
+    fleet = generate_fleet(
+        FleetConfig(
+            n_objects=8, points_per_trajectory=30, rows=8, cols=8, seed=3
+        )
+    )
+    path = tmp_path_factory.mktemp("data") / "fleet.csv"
+    write_csv(fleet.dataset, path)
+    return path
+
+
+@pytest.fixture
+def store(tmp_path):
+    store = BudgetStore(tmp_path / "budgets")
+    store.declare("acme", 8.0)
+    return store
+
+
+@pytest.fixture
+def engines():
+    cache = EngineCache(workers=1, executor="thread")
+    yield cache
+    cache.close()
+
+
+@pytest.fixture
+def runner(store, engines, tmp_path):
+    runner = JobRunner(store, engines, tmp_path / "spool", workers=1)
+    yield runner
+    runner.close()
+
+
+GL_SPEC = {"kind": "gl", "params": {"epsilon": 1.0, "seed": 7}}
+
+
+def wait_done(runner, job, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        state = job.to_dict()["state"]
+        if state in ("done", "failed"):
+            return state
+        time.sleep(0.02)
+    raise AssertionError(f"job {job.id} still {job.to_dict()['state']}")
+
+
+class TestRace001Visibility:
+    def test_runner_worker_is_a_discovered_pool_entry_point(self):
+        """`repro check` must police the daemon's worker callable: the
+        `parallel_map_stream(self._execute, ...)` submission in
+        `JobRunner._run_pump` has to register `_execute` as a RACE001
+        entry point, so any future unlocked shared write inside the
+        job-execution path is flagged rather than silently racy."""
+        from pathlib import Path
+
+        import repro.serve.jobs as jobs_module
+        from repro.analysis.callgraph import (
+            UnlockedSharedWrite,
+            _FunctionTable,
+        )
+        from repro.analysis.runner import load_project
+
+        project = load_project([Path(jobs_module.__file__)])
+        rule = UnlockedSharedWrite()
+        entries = rule._entry_points(project, _FunctionTable(project))
+        assert "repro.serve.jobs.JobRunner._execute" in {
+            key.label() for key in entries
+        }
+
+
+class TestEngineCache:
+    def test_same_spec_reuses_the_warm_engine(self, engines):
+        spec = MethodSpec("gl", {"epsilon": 1.0, "seed": 7})
+        first = engines.get(spec)
+        assert isinstance(first, BatchAnonymizer)
+        assert engines.get(MethodSpec("gl", {"epsilon": 1.0, "seed": 7})) is (
+            first
+        )
+        assert len(engines) == 1
+        assert engines.get(MethodSpec("gl", {"epsilon": 2.0})) is not first
+        assert len(engines) == 2
+
+    def test_close_is_idempotent_and_terminal(self, engines):
+        engines.get(MethodSpec("gl", {"epsilon": 1.0}))
+        engines.close()
+        engines.close()
+        assert len(engines) == 0
+        with pytest.raises(RuntimeError, match="closed"):
+            engines.get(MethodSpec("gl", {"epsilon": 1.0}))
+
+
+class TestEpsilonOf:
+    def test_frequency_method_exposes_epsilon(self):
+        spec = MethodSpec("gl", {"epsilon": 1.25})
+        assert epsilon_of(spec, spec.build()) == pytest.approx(1.25)
+
+    def test_method_without_epsilon_costs_nothing(self):
+        class Free:
+            """A non-DP baseline: no epsilon attribute, none in params."""
+
+        assert epsilon_of(MethodSpec("gl"), Free()) == 0.0
+
+
+class TestJobRunner:
+    def test_job_runs_to_done_and_charges_the_ledger(
+        self, runner, store, dataset_csv
+    ):
+        job = runner.submit("acme", GL_SPEC, str(dataset_csv))
+        assert job.to_dict()["eps_total"] == pytest.approx(1.0)
+        assert wait_done(runner, job) == "done"
+        snapshot = job.to_dict()
+        assert snapshot["eps_charged"] == pytest.approx(1.0)
+        assert snapshot["trajectories"] == 8
+        assert job.result_path.is_file()
+        assert job.result_path.read_text().startswith("object_id,t,x,y")
+        account = store.account("acme")
+        assert account.committed == {job.id: pytest.approx(1.0)}
+        assert account.pending == {}
+
+    def test_unknown_tenant_refused_before_queuing(self, runner, dataset_csv):
+        with pytest.raises(UnknownTenantError):
+            runner.submit("ghost", GL_SPEC, str(dataset_csv))
+        assert runner.jobs() == []
+
+    def test_over_budget_refused_before_queuing(
+        self, runner, store, dataset_csv
+    ):
+        store.declare("tiny", 0.1)
+        with pytest.raises(BudgetExceededError):
+            runner.submit("tiny", GL_SPEC, str(dataset_csv))
+        assert runner.jobs() == []
+        assert store.account("tiny").reserved == 0
+
+    def test_bad_spec_refused_before_reserving(
+        self, runner, store, dataset_csv
+    ):
+        with pytest.raises((ValueError, KeyError, TypeError)):
+            runner.submit(
+                "acme", {"kind": "gl", "params": {"epsilon": -1}},
+                str(dataset_csv),
+            )
+        assert store.account("acme").reserved == 0
+
+    def test_missing_dataset_refused_before_reserving(self, runner, store):
+        with pytest.raises(FileNotFoundError):
+            runner.submit("acme", GL_SPEC, "/nowhere/fleet.csv")
+        assert store.account("acme").reserved == 0
+
+    def test_failed_job_releases_its_reservation(
+        self, store, engines, tmp_path, dataset_csv, monkeypatch
+    ):
+        def explode(spec):
+            raise RuntimeError("engine exploded")
+
+        monkeypatch.setattr(engines, "get", explode)
+        runner = JobRunner(store, engines, tmp_path / "spool", workers=1)
+        try:
+            job = runner.submit("acme", GL_SPEC, str(dataset_csv))
+            assert wait_done(runner, job) == "failed"
+            assert "engine exploded" in job.to_dict()["error"]
+            account = store.account("acme")
+            assert account.pending == {}
+            assert account.released == {job.id: job.to_dict()["error"]}
+            assert account.remaining == pytest.approx(8.0)
+        finally:
+            runner.close()
+
+    def test_close_drains_in_flight_jobs(
+        self, store, engines, tmp_path, dataset_csv
+    ):
+        runner = JobRunner(store, engines, tmp_path / "spool", workers=1)
+        jobs = [
+            runner.submit("acme", GL_SPEC, str(dataset_csv)) for _ in range(3)
+        ]
+        runner.close(drain=True)
+        assert [job.to_dict()["state"] for job in jobs] == ["done"] * 3
+
+    def test_close_without_drain_fails_queued_jobs(
+        self, store, engines, tmp_path, dataset_csv, monkeypatch
+    ):
+        gate = threading.Event()
+        real_get = engines.get
+
+        def gated(spec):
+            engine = real_get(spec)
+            gate.wait(30)
+            return engine
+
+        monkeypatch.setattr(engines, "get", gated)
+        runner = JobRunner(store, engines, tmp_path / "spool", workers=1)
+        first = runner.submit("acme", GL_SPEC, str(dataset_csv))
+        second = runner.submit("acme", GL_SPEC, str(dataset_csv))
+        closer = threading.Thread(
+            target=runner.close, kwargs={"drain": False}
+        )
+        closer.start()
+        gate.set()
+        closer.join(timeout=30)
+        assert not closer.is_alive()
+        # The in-flight job finished; the queued one was abandoned and
+        # its reservation returned.
+        assert first.to_dict()["state"] == "done"
+        assert second.to_dict()["state"] == "failed"
+        account = store.account("acme")
+        assert second.id in account.released
+        assert account.pending == {}
+
+    def test_submit_after_close_refused(self, store, engines, tmp_path):
+        runner = JobRunner(store, engines, tmp_path / "spool", workers=1)
+        runner.close()
+        with pytest.raises(RuntimeError, match="shutting down"):
+            runner.submit("acme", GL_SPEC, "whatever.csv")
+
+    def test_jobs_listing_is_ordered(self, runner, dataset_csv):
+        submitted = [
+            runner.submit("acme", GL_SPEC, str(dataset_csv)) for _ in range(2)
+        ]
+        assert [job.id for job in runner.jobs()] == [
+            job.id for job in submitted
+        ]
+        assert runner.get(submitted[0].id) is submitted[0]
+        assert runner.get("job-999999") is None

@@ -40,6 +40,7 @@ PUBLIC_MODULES = (
     "repro.data",
     "repro.analysis",
     "repro.bench",
+    "repro.serve",
 )
 
 #: Memory addresses and other run-dependent repr noise to normalize.
