@@ -233,6 +233,38 @@ def test_bench_publish_shared_tf(
     assert report.epsilon_total == 1.0
 
 
+def test_bench_publish_shared_tf_parallel(
+    benchmark, bench_timer, engine_fleet
+):
+    """The pipelined spill-backed publisher with per-core workers.
+
+    ``workers=0`` resolves to the host's core count; on a single-core
+    host that falls back to the serial pipelined path, so the recorded
+    time reflects the spill + balanced-apportionment pipeline itself
+    rather than pool overhead that cannot pay for itself there. The
+    output is byte-identical to the serial publisher either way.
+    """
+
+    def run_publish():
+        with StreamPublisher(
+            GL(epsilon=1.0, signature_size=SIGNATURE_SIZE, seed=7),
+            workers=0,
+        ) as publisher:
+            return publisher.publish(
+                lambda: chunked(iter(engine_fleet.dataset), _bench_chunk_size())
+            )
+
+    report = benchmark.pedantic(
+        lambda: bench_timer(
+            "stream_publisher", "shared_tf_parallel_s", run_publish
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert report.trajectories == N_OBJECTS
+    assert report.epsilon_total == 1.0
+
+
 def test_batch_output_identical_to_serial(engine_fleet):
     serial = PureL(
         epsilon=0.5, signature_size=SIGNATURE_SIZE, seed=7

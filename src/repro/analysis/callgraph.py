@@ -17,8 +17,9 @@ approximation:
   call.
 * Edges follow bare-name calls to module-level functions (including
   ones imported from other analyzed modules), ``self.method()`` calls
-  to methods of the same class, and simple local aliases
-  (``simulate = self._simulate_increase``).
+  to methods of the same class, and simple local aliases — both
+  ``simulate = self._simulate_increase`` and the conditional-worker
+  pattern ``runner = _worker_function`` before the submitting call.
 * Calls on arbitrary receivers (``obj.method()``) are *not* followed:
   workers overwhelmingly call methods on worker-local objects they just
   built, and following them would drown the signal in false positives.
@@ -124,6 +125,21 @@ def _local_self_aliases(func: ast.AST) -> dict[str, list[str]]:
             and value.value.id == "self"
         ):
             aliases.setdefault(target.id, []).append(value.attr)
+    return aliases
+
+
+def _local_name_aliases(func: ast.AST) -> dict[str, list[str]]:
+    """``name -> [other, ...]`` for ``name = other`` bare-name
+    assignments in ``func``'s body (all branches collected) — the
+    ``runner = _worker_function`` pattern that picks a pool worker
+    conditionally before submitting it."""
+    aliases: dict[str, list[str]] = {}
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if isinstance(target, ast.Name) and isinstance(node.value, ast.Name):
+            aliases.setdefault(target.id, []).append(node.value.id)
     return aliases
 
 
@@ -321,6 +337,11 @@ class UnlockedSharedWrite(Rule):
             if cls is not None and func is not None:
                 for attr in _local_self_aliases(func).get(node.id, ()):
                     key = table.method(module, cls.name, attr)
+                    if key is not None:
+                        keys.append(key)
+            if func is not None:
+                for other in _local_name_aliases(func).get(node.id, ()):
+                    key = table.module_function(module, other)
                     if key is not None:
                         keys.append(key)
             key = table.module_function(module, node.id)

@@ -186,21 +186,36 @@ def publish(
     executor: str = "process",
     shards_per_worker: int = 4,
     global_workers: int | None = 1,
+    publish_workers: int | None = 1,
+    publish_executor: str = "process",
+    spill_dir: str | os.PathLike | None = None,
+    window: int | None = None,
+    apportionment: str = "balanced",
     sink: Callable | None = None,
+    byte_sink: Callable | None = None,
 ):
     """Publish a chunked dataset as **one** ε-DP release; return the
     merged :class:`~repro.engine.publish.PublishReport`.
 
     ``source`` is a dataset reference (CSV path, artifact directory,
     or registry name — chunked into ``chunk_size`` trajectories) or a
-    re-iterable chunk factory (``() -> Iterable[TrajectoryDataset]``).
-    The method must be frequency-family; its ε_G/ε_L *are* the budget
-    split between the shared pass-1 TF estimate and the parallel
-    per-chunk local randomization (``split`` re-splits the spec's
-    total ε first — see :func:`split_spec`).  ``engine="batch"``
-    shards each chunk's local stage across a worker pool, output
-    byte-identical to serial for the same seed.  ``sink(chunk,
-    report)`` receives each anonymized chunk as soon as it is ready.
+    chunk factory (``() -> Iterable[TrajectoryDataset]``), consumed
+    exactly once: pass 1 spills each parsed chunk to ``spill_dir``
+    (default: a self-cleaning tempdir) and pass 2 realises from the
+    spills.  The method must be frequency-family; its ε_G/ε_L *are*
+    the budget split between the shared pass-1 TF estimate and the
+    parallel per-chunk local randomization (``split`` re-splits the
+    spec's total ε first — see :func:`split_spec`).
+
+    Two independent parallelism axes, both byte-identical to serial
+    for the same seed: ``engine="batch"`` shards *within* each chunk's
+    local stage (``workers``/``executor``/…), while
+    ``publish_workers > 1`` (``0`` = per core) realises whole spilled
+    chunks concurrently across a ``publish_executor`` pool behind a
+    bounded in-flight ``window``.  ``sink(chunk, report)`` receives
+    each anonymized chunk in stream order as soon as it is ready;
+    ``byte_sink(rows, report)`` receives the same chunk's encoded CSV
+    data rows (the fast path for file output).
     """
     spec = as_spec(spec)
     if engine not in ENGINE_KINDS:
@@ -221,6 +236,13 @@ def publish(
     from repro.engine.publish import StreamPublisher, chunk_source
 
     chunks = source if callable(source) else chunk_source(source, chunk_size)
+    publisher_knobs = dict(
+        workers=publish_workers,
+        executor=publish_executor,
+        spill_dir=spill_dir,
+        window=window,
+        apportionment=apportionment,
+    )
     if engine == "batch":
         front = BatchAnonymizer(
             anonymizer,
@@ -230,5 +252,9 @@ def publish(
             global_workers=global_workers,
         )
         with front:
-            return StreamPublisher(front).publish(chunks, sink=sink)
-    return StreamPublisher(anonymizer).publish(chunks, sink=sink)
+            return StreamPublisher(front, **publisher_knobs).publish(
+                chunks, sink=sink, byte_sink=byte_sink
+            )
+    return StreamPublisher(anonymizer, **publisher_knobs).publish(
+        chunks, sink=sink, byte_sink=byte_sink
+    )

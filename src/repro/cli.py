@@ -266,6 +266,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "the rest funds the per-chunk local stage (default: the "
         "method's own split)",
     )
+    publish.add_argument(
+        "--publish-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="realise this many spilled chunks at once in pass 2 "
+        "(0 = one per core; output is byte-identical for any value)",
+    )
+    publish.add_argument(
+        "--spill-dir",
+        default=None,
+        metavar="DIR",
+        help="where pass 1 stages parsed chunks (default: a private "
+        "tempdir, cleaned up when the publish finishes)",
+    )
     _add_method_args(publish)
     _add_engine_args(publish)
 
@@ -487,6 +502,14 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="batch-engine global-stage thread pool; 1 = in-process",
     )
+    serve.add_argument(
+        "--publish-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="per-chunk realization processes for publish jobs; "
+        "0 = one per core (output is byte-identical for any value)",
+    )
     return parser
 
 
@@ -678,10 +701,11 @@ def _cmd_anonymize(args: argparse.Namespace) -> int:
 
 def _cmd_publish(args: argparse.Namespace) -> int:
     import csv
+    import io
     import os
 
     from repro.api import publish as api_publish
-    from repro.trajectory.io import CSV_HEADER, write_csv_rows
+    from repro.trajectory.io import CSV_HEADER
 
     try:
         spec = _build_spec(args)
@@ -691,13 +715,18 @@ def _cmd_publish(args: argparse.Namespace) -> int:
     report_path = args.report or f"{args.output}.report.json"
     # Stream chunks into a staging file and move it into place only
     # after the publish succeeds, so a rejected invocation (wrong
-    # method family, bad --split, drifting source) never clobbers a
+    # method family, bad --split, corrupted spill) never clobbers a
     # previous good output with a partial one.
     staging = f"{args.output}.tmp"
     try:
-        with open(staging, "w", newline="") as handle:
-            writer = csv.writer(handle)
-            writer.writerow(CSV_HEADER)
+        with open(staging, "wb") as handle:
+            # Chunks arrive as worker-encoded CSV row bytes (the
+            # byte_sink fast path), so the file is binary; the header
+            # still goes through the csv writer so the two cannot
+            # disagree on dialect.
+            header = io.StringIO(newline="")
+            csv.writer(header).writerow(CSV_HEADER)
+            handle.write(header.getvalue().encode("utf-8"))
             report = api_publish(
                 spec,
                 args.input,
@@ -707,7 +736,9 @@ def _cmd_publish(args: argparse.Namespace) -> int:
                 workers=args.workers,
                 executor=args.executor,
                 global_workers=args.global_workers,
-                sink=lambda chunk, _report: write_csv_rows(writer, chunk),
+                publish_workers=args.publish_workers,
+                spill_dir=args.spill_dir,
+                byte_sink=lambda rows, _report: handle.write(rows),
             )
         # Report first, output last: if the report cannot be written
         # there is no release on disk claiming an audit trail it does
@@ -977,6 +1008,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         engine_workers=args.workers,
         engine_executor=args.executor,
         global_workers=args.global_workers,
+        publish_workers=args.publish_workers,
         tenants=tenants,
         registry_root=args.registry,
     )

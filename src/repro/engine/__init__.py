@@ -14,10 +14,14 @@ Two pieces built for the "as fast as the hardware allows" roadmap:
 * :func:`parallel_map` — the deterministic order-preserving pool
   primitive the experiment drivers reuse for their sweeps;
 * :class:`StreamPublisher` (:mod:`repro.engine.publish`) — the
-  two-pass whole-dataset publisher: one shared noisy TF estimate over
-  the entire chunked stream, then per-chunk realisation against
-  apportioned targets, with a DP composition ledger
-  (:mod:`repro.core.accounting`) recording the end-to-end ε.
+  pipelined two-pass whole-dataset publisher: pass 1 consumes the
+  chunked stream exactly once, spilling parsed chunks to disk
+  (:mod:`repro.engine.spill`) while accumulating one shared noisy TF
+  estimate; pass 2 realises apportioned per-chunk targets from the
+  spills — overlapped with pass 1 where the spec allows and fanned
+  over worker processes, byte-identical to serial either way — with a
+  DP composition ledger (:mod:`repro.core.accounting`) recording the
+  end-to-end ε.
 
 The other engine half — the incremental ``iter_nearest`` kNN frontier
 that removes the global stage's restart-scans — lives on the index
@@ -33,19 +37,26 @@ from repro.engine.pool import (
     resolve_workers,
 )
 from repro.engine.publish import (
+    APPORTIONMENT_KINDS,
     PublishReport,
     SharedTFEstimate,
     StreamPublisher,
     chunk_source,
+    csv_chunk_bytes,
 )
+from repro.engine.spill import SpillError, SpillStore
 
 __all__ = [
+    "APPORTIONMENT_KINDS",
     "BatchAnonymizer",
     "EXECUTOR_KINDS",
     "PublishReport",
     "SharedTFEstimate",
+    "SpillError",
+    "SpillStore",
     "StreamPublisher",
     "chunk_source",
+    "csv_chunk_bytes",
     "parallel_map",
     "parallel_map_stream",
     "resolve_workers",

@@ -333,6 +333,43 @@ class BatchAnonymizer:
             self.anonymizer._last_report = report
             yield result, report
 
+    def publish(
+        self,
+        chunks,
+        sink=None,
+        *,
+        byte_sink=None,
+        publish_workers: int | None = 1,
+        publish_executor: str = "process",
+        spill_dir=None,
+        window: int | None = None,
+        apportionment: str = "balanced",
+    ):
+        """Publish a chunked stream as **one** ε-DP release.
+
+        Convenience front for
+        :class:`~repro.engine.publish.StreamPublisher` wrapping this
+        engine: the in-process realisation path reuses this engine's
+        sharding and wave-planning pools, while ``publish_workers > 1``
+        fans spilled chunks over a separate pass-2 pool (chunks are
+        then realised by worker-side rebuilt pipelines; output stays
+        byte-identical either way). See ``StreamPublisher`` for the
+        knobs; returns the merged
+        :class:`~repro.engine.publish.PublishReport`.
+        """
+        self._ensure_open()
+        from repro.engine.publish import StreamPublisher  # lazy: cycle
+
+        publisher = StreamPublisher(
+            self,
+            workers=publish_workers,
+            executor=publish_executor,
+            spill_dir=spill_dir,
+            window=window,
+            apportionment=apportionment,
+        )
+        return publisher.publish(chunks, sink=sink, byte_sink=byte_sink)
+
     def anonymize_many(
         self, datasets: Iterable[TrajectoryDataset]
     ) -> list[tuple[TrajectoryDataset, AnonymizationReport]]:

@@ -81,15 +81,20 @@ def parallel_map_stream(
     workers: int = 1,
     executor: str = "process",
     prefetch: int = 2,
+    window: int | None = None,
 ) -> Iterator[R]:
     """Lazy :func:`parallel_map`: results stream back in input order.
 
-    At most ``workers * prefetch`` items are in flight (submitted but
-    not yet yielded), and the input iterable is pulled only as slots
-    free up — so a lazy or unbounded input stream is consumed with
-    bounded memory, unlike :func:`parallel_map` which materialises its
-    input first. The serial path (``workers <= 1``, ``"serial"``, or an
-    environment without pools) degenerates to a plain lazy ``map``.
+    At most ``window`` items are in flight (submitted but not yet
+    yielded) — ``workers * prefetch`` unless ``window`` overrides it —
+    and the input iterable is pulled only as slots free up, so a lazy
+    or unbounded input stream is consumed with bounded memory, unlike
+    :func:`parallel_map` which materialises its input first. The
+    explicit ``window`` is for callers whose in-flight bound is a
+    memory budget in its own right (the publisher's spill window)
+    rather than a pool-utilisation heuristic. The serial path
+    (``workers <= 1``, ``"serial"``, or an environment without pools)
+    degenerates to a plain lazy ``map``.
     """
     if executor not in EXECUTOR_KINDS:
         raise ValueError(
@@ -97,6 +102,8 @@ def parallel_map_stream(
         )
     if prefetch < 1:
         raise ValueError(f"prefetch must be at least 1, got {prefetch}")
+    if window is not None and window < 1:
+        raise ValueError(f"window must be at least 1, got {window}")
     workers = resolve_workers(workers)
     iterator = iter(items)
     pool = (
@@ -108,7 +115,8 @@ def parallel_map_stream(
         for item in iterator:
             yield fn(item)
         return
-    window = workers * prefetch
+    if window is None:
+        window = workers * prefetch
     pending: deque = deque()
     try:
         for item in iterator:

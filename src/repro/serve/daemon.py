@@ -70,6 +70,10 @@ class ServeConfig:
     engine_executor: str = "process"
     shards_per_worker: int = 4
     global_workers: int | None = 1
+    #: Pass-2 fan-out for streaming-publish jobs (``0`` = per core;
+    #: ``1`` realises spilled chunks in-process). Spills stage under
+    #: the spool, one directory per job, cleaned with the publish.
+    publish_workers: int | None = 1
     #: ``(tenant, budget)`` pairs declared at boot.
     tenants: tuple = field(default_factory=tuple)
     registry_root: str | Path | None = None
@@ -101,6 +105,7 @@ class Daemon:
             self.config.spool,
             workers=self.config.job_workers,
             registry=registry,
+            publish_workers=self.config.publish_workers,
         )
         self._server: _ServeServer | None = None
         self._thread: threading.Thread | None = None
@@ -303,20 +308,25 @@ class _Handler(BaseHTTPRequestHandler):
         tenant = payload.get("tenant")
         dataset = payload.get("dataset")
         spec = payload.get("spec")
-        if not isinstance(tenant, str) or not isinstance(dataset, str):
+        publish = payload.get("publish")
+        if (
+            not isinstance(tenant, str)
+            or not isinstance(dataset, str)
+            or not (publish is None or isinstance(publish, dict))
+        ):
             self._send_json(
                 400,
                 {
                     "error": "bad-request",
                     "detail": (
                         "body must be {tenant: str, dataset: str, "
-                        "spec: object|str}"
+                        "spec: object|str, publish?: object}"
                     ),
                 },
             )
             return
         try:
-            job = self.app.runner.submit(tenant, spec, dataset)
+            job = self.app.runner.submit(tenant, spec, dataset, publish=publish)
         except BudgetExceededError as exc:
             self._send_json(429, exc.to_dict())
         except UnknownTenantError:

@@ -18,7 +18,11 @@ Determinism: frequency-family jobs run with a **pinned call index**
 (0), so a job's output depends only on ``(dataset, spec, seed)`` —
 byte-identical to ``repro anonymize --engine batch`` with the same
 inputs, no matter how many requests the long-lived engine served
-before it. Re-running a job re-publishes the *same* release (same
+before it. Publish jobs (``publish={"chunk_size": N}``) route through
+a fresh :func:`repro.api.publish` call instead — one whole-dataset
+ε-DP release via the spill-pipelined ``StreamPublisher`` (spills under
+``<spool>/<job-id>.spill/``), byte-identical to ``repro publish`` and
+charged the publish ledger's composed ``eps_total``. Re-running a job re-publishes the *same* release (same
 noise), which is why each job is still charged: the daemon refuses to
 assume two requests are intentional replays.
 
@@ -64,6 +68,9 @@ class Job:
     spec: MethodSpec
     dataset: str
     eps_total: float
+    #: ``None`` for a plain anonymize job; validated publish options
+    #: (``{"chunk_size": int}``) for a streaming-publish job.
+    publish: dict | None = None
     state: str = "queued"
     error: str | None = None
     #: Epsilon actually charged on commit (≤ eps_total; 0 until done).
@@ -88,6 +95,7 @@ class Job:
                 "dataset": self.dataset,
                 "spec": self.spec.to_dict(),
                 "digest": self.spec.digest,
+                "publish": None if self.publish is None else dict(self.publish),
                 "eps_total": self.eps_total,
                 "eps_charged": self.eps_charged,
                 "trajectories": self.trajectories,
@@ -126,6 +134,7 @@ class JobRunner:
         spool: str | Path,
         workers: int = 2,
         registry: DatasetRegistry | None = None,
+        publish_workers: int | None = 1,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be at least 1, got {workers}")
@@ -135,6 +144,9 @@ class JobRunner:
         self.spool.mkdir(parents=True, exist_ok=True)
         self.workers = workers
         self.registry = registry
+        #: Pass-2 fan-out for streaming-publish jobs (see
+        #: :class:`~repro.engine.publish.StreamPublisher`).
+        self.publish_workers = publish_workers
         self._jobs: dict[str, Job] = {}
         self._queue: queue.Queue = queue.Queue()
         self._lock = threading.Lock()
@@ -148,13 +160,21 @@ class JobRunner:
 
     # -- the sync half: admission -------------------------------------------
 
-    def submit(self, tenant: str, spec, dataset: str) -> Job:
+    def submit(
+        self, tenant: str, spec, dataset: str, publish=None
+    ) -> Job:
         """Validate, reserve the budget, and enqueue; returns the job.
+
+        ``publish`` switches the job from plain anonymization to a
+        whole-stream publish (one shared ε_G TF draw across chunks):
+        a mapping of publish options, currently ``{"chunk_size": int}``
+        (default 500). Publish jobs require a frequency-family spec.
 
         Raises :class:`~repro.serve.budget.BudgetExceededError` (the
         structured refusal), :class:`~repro.serve.budget.UnknownTenantError`,
         or ``ValueError``/``KeyError``/``FileNotFoundError`` for a bad
-        spec or dataset reference — all *before* anything is queued.
+        spec, dataset reference, or publish option — all *before*
+        anything is queued.
         """
         spec = as_spec(spec)
         with self._lock:
@@ -169,6 +189,26 @@ class JobRunner:
         # bad parameter set is refused here, on the caller's thread.
         anonymizer = build(spec)
         eps_total = epsilon_of(spec, anonymizer)
+        publish_options = None
+        if publish is not None:
+            publish_options = dict(publish)
+            unknown = set(publish_options) - {"chunk_size"}
+            if unknown:
+                raise ValueError(
+                    f"unknown publish option(s): {sorted(unknown)}"
+                )
+            chunk_size = publish_options.setdefault("chunk_size", 500)
+            if not isinstance(chunk_size, int) or chunk_size < 1:
+                raise ValueError(
+                    f"publish chunk_size must be a positive integer, "
+                    f"got {chunk_size!r}"
+                )
+            if not isinstance(anonymizer, FrequencyAnonymizer):
+                raise ValueError(
+                    "publish jobs require a frequency-family method "
+                    "(the shared TF estimate is the frequency pipeline's "
+                    "global stage)"
+                )
         _resolve_ref(dataset, self.registry)  # unknown refs refuse here too
         job = Job(
             id=job_id,
@@ -176,6 +216,7 @@ class JobRunner:
             spec=spec,
             dataset=str(dataset),
             eps_total=eps_total,
+            publish=publish_options,
         )
         if eps_total > 0.0:
             self.store.reserve(tenant, job.id, eps_total)
@@ -248,6 +289,8 @@ class JobRunner:
         """Execute the anonymization and spool the result atomically."""
         from repro.trajectory.io import write_csv
 
+        if job.publish is not None:
+            return self._run_publish(job)
         engine = self.engines.get(job.spec)
         dataset = load_dataset(job.dataset, self.registry)
         if isinstance(engine, BatchAnonymizer):
@@ -276,6 +319,53 @@ class JobRunner:
             job.eps_charged = charged
             job.trajectories = len(result)
             job.report = None if report is None else report.to_dict()
+        return target
+
+    def _run_publish(self, job: Job) -> Path:
+        """Execute a streaming-publish job and spool the merged CSV.
+
+        Runs through :func:`repro.api.publish` on a fresh pipeline
+        (call index 0 by construction, so the release depends only on
+        ``(dataset, spec, seed)`` like every other job), spilling
+        pass-1 chunks under the spool and streaming worker-encoded CSV
+        bytes straight into the staging file. The commit charges the
+        publish ledger — ``eps_G + max-per-chunk eps_L``, exactly the
+        reservation.
+        """
+        import csv
+        import io
+
+        from repro.api.session import publish as api_publish
+        from repro.engine.publish import chunk_source
+        from repro.trajectory.io import CSV_HEADER
+
+        target = self.spool / f"{job.id}.csv"
+        staging = target.with_suffix(".tmp")
+        spill_dir = self.spool / f"{job.id}.spill"
+        try:
+            with open(staging, "wb") as handle:
+                header = io.StringIO(newline="")
+                csv.writer(header).writerow(CSV_HEADER)
+                handle.write(header.getvalue().encode("utf-8"))
+                report = api_publish(
+                    job.spec,
+                    chunk_source(
+                        job.dataset, job.publish["chunk_size"], self.registry
+                    ),
+                    publish_workers=self.publish_workers,
+                    spill_dir=spill_dir,
+                    byte_sink=lambda rows, _report: handle.write(rows),
+                )
+            staging.replace(target)
+        finally:
+            staging.unlink(missing_ok=True)
+        charged = 0.0
+        if job.eps_total > 0.0:
+            charged = self.store.commit(job.tenant, job.id, report.accounting)
+        with job._lock:
+            job.eps_charged = charged
+            job.trajectories = report.trajectories
+            job.report = report.to_dict()
         return target
 
     def _settle_failure(self, job: Job) -> None:

@@ -365,6 +365,32 @@ class TestRACE001:
         )
         assert report.clean
 
+    def test_conditional_worker_alias_discovered(self):
+        # The publisher picks its pool worker conditionally
+        # (``runner = _module_worker``) before submitting; discovery
+        # must follow the bare-name alias to the module function.
+        report = check(
+            """
+            SEEN = None
+
+            def _module_worker(job):
+                global SEEN
+                SEEN = job
+                return job
+
+            class Engine:
+                def run(self, jobs, parallel):
+                    if parallel:
+                        runner = _module_worker
+                    else:
+                        runner = _module_worker
+                    return parallel_map_stream(runner, jobs)
+            """,
+            codes=["RACE001"],
+        )
+        assert codes_of(report) == ["RACE001"]
+        assert "_module_worker" in report.findings[0].message
+
     def test_cross_module_global_write_flagged(self, tmp_path):
         (tmp_path / "counters.py").write_text(textwrap.dedent(
             """

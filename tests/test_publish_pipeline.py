@@ -1,0 +1,457 @@
+"""Tests for the pipelined publisher: spill staging, process-parallel
+pass 2, and the overlap of the two passes.
+
+The load-bearing guarantees on top of ``test_publish.py``:
+
+* the spill codec round-trips parsed chunks **exactly** (float64, not
+  the lossy ``%.3f`` CSV quantisation), and every read is validated —
+  a truncated or mutated spill aborts pass 2 with a positional error
+  instead of publishing a short or stale release;
+* spill directories are cleaned up on success, on failure, and on
+  ``close()``;
+* parallel publish output — CSV bytes and ledger totals — is
+  byte-identical to the serial publisher across executors and chunk
+  counts (fixture + hypothesis), including single-chunk ==
+  ``anonymize``;
+* without a global mechanism, pass-2 realisation genuinely overlaps
+  pass-1 parsing behind the bounded window.
+"""
+
+import threading
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pipeline import GL, PureL
+from repro.data.stream import chunked
+from repro.datagen.generator import FleetConfig, generate_fleet
+from repro.engine import (
+    SpillError,
+    SpillStore,
+    StreamPublisher,
+    csv_chunk_bytes,
+    parallel_map_stream,
+)
+from repro.engine.spill import decode_chunk, encode_chunk, read_spill, write_spill
+from repro.trajectory.model import Point, Trajectory, TrajectoryDataset
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return generate_fleet(
+        FleetConfig(n_objects=10, points_per_trajectory=40, rows=8, cols=8, seed=5)
+    )
+
+
+def source(dataset, chunk_size):
+    return lambda: chunked(iter(dataset), chunk_size)
+
+
+def publish_bytes(publisher, chunks):
+    out = bytearray()
+    report = publisher.publish(chunks, byte_sink=lambda b, _r: out.extend(b))
+    return bytes(out), report
+
+
+# -- spill codec ---------------------------------------------------------------
+
+
+class TestSpillCodec:
+    def test_roundtrip_is_exact(self):
+        """float64 round-trip, including values ``%.3f`` would destroy."""
+        dataset = TrajectoryDataset(
+            [
+                Trajectory("a", [Point(0.1 + 0.2, -1e-9, 1234.5678901)]),
+                Trajectory("übér-ID", [Point(1e12, -3.25, 0.0), Point(2, 3, 4)]),
+                Trajectory("empty", []),
+            ]
+        )
+        rebuilt = decode_chunk(encode_chunk(dataset))
+        assert [t.object_id for t in rebuilt] == ["a", "übér-ID", "empty"]
+        for before, after in zip(dataset, rebuilt, strict=True):
+            assert [(p.x, p.y, p.t) for p in before] == [
+                (p.x, p.y, p.t) for p in after
+            ]
+
+    def test_file_roundtrip(self, fleet, tmp_path):
+        path = tmp_path / "chunk-000000.spill"
+        write_spill(path, 0, fleet.dataset)
+        rebuilt = read_spill(path, index=0, expected_trajectories=len(fleet.dataset))
+        assert [t.object_id for t in rebuilt] == [
+            t.object_id for t in fleet.dataset
+        ]
+
+    def test_rejects_foreign_file(self, tmp_path):
+        path = tmp_path / "x.spill"
+        path.write_bytes(b"object_id,t,x,y\n")
+        with pytest.raises(SpillError, match=r":1: not a spill file"):
+            read_spill(path)
+
+    def test_rejects_wrong_chunk_index(self, fleet, tmp_path):
+        path = tmp_path / "x.spill"
+        write_spill(path, 3, fleet.dataset)
+        with pytest.raises(SpillError, match="holds chunk 3, expected chunk 1"):
+            read_spill(path, index=1)
+
+    def test_truncation_is_line_numbered(self, fleet, tmp_path):
+        path = tmp_path / "x.spill"
+        write_spill(path, 0, fleet.dataset)
+        whole = path.read_bytes()
+        path.write_bytes(whole[: len(whole) // 2])
+        with pytest.raises(SpillError, match=r":2: payload truncated"):
+            read_spill(path, index=0)
+
+    def test_mutation_fails_checksum(self, fleet, tmp_path):
+        path = tmp_path / "x.spill"
+        write_spill(path, 0, fleet.dataset)
+        whole = bytearray(path.read_bytes())
+        whole[-10] ^= 0xFF
+        path.write_bytes(bytes(whole))
+        with pytest.raises(SpillError, match=r":2: payload checksum mismatch"):
+            read_spill(path, index=0)
+
+    def test_frame_overrun_names_byte_offset(self):
+        # A frame header promising more points than the payload holds.
+        payload = encode_chunk(
+            TrajectoryDataset([Trajectory("a", [Point(1, 2, 3)])])
+        )
+        with pytest.raises(SpillError, match="byte 8: trajectory frame runs"):
+            decode_chunk(payload[:-8])
+
+
+class TestSpillStore:
+    def test_stage_load_remove(self, fleet, tmp_path):
+        with SpillStore(tmp_path / "spill") as store:
+            store.stage(0, fleet.dataset)
+            assert store.path_of(0).exists()
+            loaded = store.load(0)
+            assert len(loaded) == len(fleet.dataset)
+            store.remove(0)
+            assert not store.path_of(0).exists()
+
+    def test_duplicate_stage_refused(self, fleet):
+        with SpillStore() as store:
+            store.stage(0, fleet.dataset)
+            with pytest.raises(ValueError, match="already staged"):
+                store.stage(0, fleet.dataset)
+
+    def test_unstaged_load_refused(self):
+        with SpillStore() as store:
+            with pytest.raises(SpillError, match="never staged"):
+                store.load(7)
+
+    def test_cache_hit_still_detects_mutation(self, fleet, tmp_path):
+        """A decoded in-memory copy must not mask on-disk tampering."""
+        with SpillStore(tmp_path / "spill", cache=4) as store:
+            store.stage(0, fleet.dataset)
+            path = store.path_of(0)
+            whole = bytearray(path.read_bytes())
+            whole[-1] ^= 0xFF
+            path.write_bytes(bytes(whole))
+            with pytest.raises(SpillError, match="checksum mismatch"):
+                store.load(0)
+
+    def test_owned_tempdir_removed_on_close(self, fleet):
+        store = SpillStore()
+        store.stage(0, fleet.dataset)
+        root = store.path
+        assert root.exists()
+        store.close()
+        assert not root.exists()
+        store.close()  # idempotent
+
+    def test_explicit_dir_keeps_foreign_files(self, fleet, tmp_path):
+        keep = tmp_path / "keep.txt"
+        keep.write_text("mine")
+        with SpillStore(tmp_path) as store:
+            store.stage(0, fleet.dataset)
+        assert keep.exists()
+        assert not (tmp_path / "chunk-000000.spill").exists()
+
+    def test_closed_store_refuses_staging(self, fleet):
+        store = SpillStore()
+        store.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            store.stage(0, fleet.dataset)
+
+
+# -- spill lifecycle through the publisher -------------------------------------
+
+
+class TestPublisherSpillHygiene:
+    def test_success_cleans_spill_dir(self, fleet, tmp_path):
+        spill = tmp_path / "spill"
+        publisher = StreamPublisher(
+            GL(epsilon=1.0, signature_size=3, seed=9), spill_dir=spill
+        )
+        publisher.publish(source(fleet.dataset, 4))
+        assert list(spill.glob("*.spill")) == []
+
+    def test_failure_cleans_spill_dir(self, fleet, tmp_path):
+        spill = tmp_path / "spill"
+        publisher = StreamPublisher(
+            GL(epsilon=1.0, signature_size=3, seed=9), spill_dir=spill
+        )
+
+        def exploding(_chunk, _report):
+            raise RuntimeError("sink boom")
+
+        with pytest.raises(RuntimeError, match="sink boom"):
+            publisher.publish(source(fleet.dataset, 4), sink=exploding)
+        assert list(spill.glob("*.spill")) == []
+
+    def test_context_manager_close_is_terminal(self, fleet):
+        with StreamPublisher(GL(epsilon=1.0, signature_size=3, seed=9)) as pub:
+            pub.publish(source(fleet.dataset, 4))
+        with pytest.raises(RuntimeError, match="closed"):
+            pub.publish(source(fleet.dataset, 4))
+        with pytest.raises(RuntimeError, match="closed"):
+            pub.__enter__()
+
+    def test_mutated_spill_aborts_publish(self, fleet, tmp_path):
+        """The single-consumption drift check: pass 2 trusts only
+        validated spills, so corruption between staging and realisation
+        aborts with a positional error instead of a short release."""
+        spill = tmp_path / "spill"
+        publisher = StreamPublisher(
+            GL(epsilon=1.0, signature_size=3, seed=9), spill_dir=spill
+        )
+
+        def corrupting():
+            for i, chunk in enumerate(chunked(iter(fleet.dataset), 4)):
+                yield chunk
+                if i == 1:
+                    path = spill / "chunk-000000.spill"
+                    whole = bytearray(path.read_bytes())
+                    whole[-3] ^= 0xFF
+                    path.write_bytes(bytes(whole))
+
+        with pytest.raises(SpillError, match=r"\.spill:2: payload checksum"):
+            publisher.publish(lambda: corrupting())
+        assert list(spill.glob("*.spill")) == []
+
+    def test_truncated_spill_aborts_publish(self, fleet, tmp_path):
+        spill = tmp_path / "spill"
+        publisher = StreamPublisher(
+            GL(epsilon=1.0, signature_size=3, seed=9), spill_dir=spill
+        )
+
+        def truncating():
+            for i, chunk in enumerate(chunked(iter(fleet.dataset), 4)):
+                yield chunk
+                if i == 1:
+                    path = spill / "chunk-000000.spill"
+                    path.write_bytes(path.read_bytes()[:40])
+
+        with pytest.raises(SpillError, match="truncated"):
+            publisher.publish(lambda: truncating())
+
+
+# -- byte-identity across executors --------------------------------------------
+
+
+MAKERS = {
+    "gl": lambda: GL(epsilon=1.0, signature_size=3, seed=21),
+    "pure-local": lambda: PureL(epsilon=0.5, signature_size=3, seed=21),
+}
+
+
+class TestParallelByteIdentity:
+    @pytest.mark.parametrize("maker", MAKERS.values(), ids=MAKERS.keys())
+    @pytest.mark.parametrize("chunk_size", [2, 3, 4, 5, 100])
+    def test_thread_pool_matches_serial(self, fleet, maker, chunk_size):
+        base, base_report = publish_bytes(
+            StreamPublisher(maker()), source(fleet.dataset, chunk_size)
+        )
+        got, report = publish_bytes(
+            StreamPublisher(maker(), workers=3, executor="thread"),
+            source(fleet.dataset, chunk_size),
+        )
+        assert got == base
+        assert report.epsilon_total == base_report.epsilon_total
+        assert report.chunks == base_report.chunks
+        assert (
+            report.accounting.to_dict() == base_report.accounting.to_dict()
+        )
+
+    @pytest.mark.parametrize("chunk_size", [4, 100])
+    def test_process_pool_matches_serial(self, fleet, chunk_size):
+        base, base_report = publish_bytes(
+            StreamPublisher(MAKERS["gl"]()), source(fleet.dataset, chunk_size)
+        )
+        got, report = publish_bytes(
+            StreamPublisher(MAKERS["gl"](), workers=2, executor="process"),
+            source(fleet.dataset, chunk_size),
+        )
+        assert got == base
+        assert report.chunks == base_report.chunks
+
+    def test_single_chunk_matches_plain_anonymize(self, fleet):
+        serial = MAKERS["gl"]().anonymize(fleet.dataset)
+        got, report = publish_bytes(
+            StreamPublisher(MAKERS["gl"](), workers=2, executor="process"),
+            source(fleet.dataset, 10_000),
+        )
+        assert report.chunk_count == 1
+        assert got == csv_chunk_bytes(serial)
+
+    def test_window_one_matches_serial(self, fleet):
+        base, _ = publish_bytes(
+            StreamPublisher(MAKERS["gl"]()), source(fleet.dataset, 3)
+        )
+        got, _ = publish_bytes(
+            StreamPublisher(MAKERS["gl"](), workers=2, executor="thread", window=1),
+            source(fleet.dataset, 3),
+        )
+        assert got == base
+
+    @given(
+        chunk_count=st.integers(1, 5),
+        workers=st.integers(2, 4),
+        epsilon=st.sampled_from([0.5, 1.0, 2.0]),
+        seed=st.integers(0, 3),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_hypothesis_identity_across_executors(
+        self, fleet, chunk_count, workers, epsilon, seed
+    ):
+        chunk_size = -(-len(fleet.dataset) // chunk_count)  # ceil div
+        make = lambda: GL(epsilon=epsilon, signature_size=3, seed=seed)
+        base, base_report = publish_bytes(
+            StreamPublisher(make()), source(fleet.dataset, chunk_size)
+        )
+        got, report = publish_bytes(
+            StreamPublisher(make(), workers=workers, executor="thread"),
+            source(fleet.dataset, chunk_size),
+        )
+        assert got == base
+        assert report.epsilon_total == base_report.epsilon_total
+        assert report.utility_loss == base_report.utility_loss
+        assert report.chunk_count == base_report.chunk_count == chunk_count
+
+
+class TestApportionmentModes:
+    def test_both_modes_apportion_exactly(self, fleet):
+        for mode in ("balanced", "proportional"):
+            publisher = StreamPublisher(
+                GL(epsilon=1.0, signature_size=3, seed=9), apportionment=mode
+            )
+            estimate = publisher.estimate(chunked(iter(fleet.dataset), 3))
+            targets = publisher.chunk_targets(estimate)
+            shared = estimate.perturbation
+            for loc in shared.original:
+                assert sum(t.perturbed.get(loc, 0) for t in targets) == (
+                    shared.perturbed[loc]
+                )
+            for target, size in zip(
+                targets, estimate.chunk_sizes, strict=True
+            ):
+                assert all(0 <= c <= size for c in target.perturbed.values())
+
+    def test_balanced_touches_fewer_locations(self, fleet):
+        """The perf lever: balanced concentrates each location's delta
+        on few chunks, so chunks see fewer distinct perturbed
+        locations than under proportional spreading."""
+
+        def touched(mode):
+            publisher = StreamPublisher(
+                GL(epsilon=1.0, signature_size=3, seed=9), apportionment=mode
+            )
+            estimate = publisher.estimate(chunked(iter(fleet.dataset), 3))
+            targets = publisher.chunk_targets(estimate)
+            return sum(
+                sum(1 for l in t.original if t.perturbed[l] != t.original[l])
+                for t in targets
+            )
+
+        assert touched("balanced") <= touched("proportional")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="apportionment"):
+            StreamPublisher(
+                GL(epsilon=1.0, signature_size=3, seed=9),
+                apportionment="random",
+            )
+
+
+# -- overlap -------------------------------------------------------------------
+
+
+class TestPassOverlap:
+    def test_local_only_realisation_overlaps_parsing(self, fleet):
+        """Without a shared draw, chunk k publishes while pass 1 is
+        still parsing later chunks — the source sees sink events
+        interleaved with its own."""
+        events = []
+        publisher = StreamPublisher(PureL(epsilon=0.5, signature_size=3, seed=9))
+
+        def observed():
+            for i, chunk in enumerate(chunked(iter(fleet.dataset), 2)):
+                events.append(("parsed", i))
+                yield chunk
+
+        publisher.publish(
+            lambda: observed(),
+            sink=lambda _c, _r: events.append(("published", None)),
+        )
+        first_publish = events.index(("published", None))
+        assert first_publish < len(events) - 1, events
+
+    def test_global_spec_gates_realisation_not_parsing(self, fleet):
+        """With a global mechanism every parse precedes every publish:
+        the one shared draw needs the whole stream."""
+        events = []
+        publisher = StreamPublisher(GL(epsilon=1.0, signature_size=3, seed=9))
+
+        def observed():
+            for i, chunk in enumerate(chunked(iter(fleet.dataset), 2)):
+                events.append("parsed")
+                yield chunk
+
+        publisher.publish(
+            lambda: observed(), sink=lambda _c, _r: events.append("published")
+        )
+        boundary = events.index("published")
+        assert all(e == "parsed" for e in events[:boundary])
+        assert all(e == "published" for e in events[boundary:])
+
+
+# -- pool window ---------------------------------------------------------------
+
+
+class TestPoolWindow:
+    def test_window_bounds_in_flight(self):
+        """With window=1 the pool never holds two unfinished items."""
+        in_flight = []
+        lock = threading.Lock()
+        peak = [0]
+
+        def tracked(x):
+            with lock:
+                in_flight.append(x)
+                peak[0] = max(peak[0], len(in_flight))
+            try:
+                return x * 2
+            finally:
+                with lock:
+                    in_flight.remove(x)
+
+        got = list(
+            parallel_map_stream(
+                tracked, range(8), workers=4, executor="thread", window=1
+            )
+        )
+        assert got == [x * 2 for x in range(8)]
+        assert peak[0] <= 1
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError, match="window"):
+            list(
+                parallel_map_stream(
+                    int, [1], workers=2, executor="thread", window=0
+                )
+            )
+
+    def test_serial_path_ignores_window(self):
+        got = list(parallel_map_stream(int, ["1", "2"], workers=1, window=1))
+        assert got == [1, 2]
