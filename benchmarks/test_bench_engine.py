@@ -50,7 +50,8 @@ def tf_perturbation(engine_fleet):
     signature_index = SignatureExtractor(m=SIGNATURE_SIZE).extract(
         engine_fleet.dataset
     )
-    return GlobalTFMechanism(0.5).perturb(
+    # the raw draw *is* the workload under measurement; no release here
+    return GlobalTFMechanism(0.5).perturb(  # repro: noqa[DP001]
         signature_index.tf, len(engine_fleet.dataset), random.Random(1)
     )
 
@@ -190,15 +191,15 @@ def test_bench_publish_per_chunk(benchmark, bench_timer, engine_fleet):
     """Baseline: k independent per-chunk releases (anonymize_stream)."""
 
     def run_stream():
-        engine = BatchAnonymizer(
+        with BatchAnonymizer(
             GL(epsilon=1.0, signature_size=SIGNATURE_SIZE, seed=7), workers=1
-        )
-        return sum(
-            len(result)
-            for result, _ in engine.anonymize_stream(
-                chunked(iter(engine_fleet.dataset), _bench_chunk_size())
+        ) as engine:
+            return sum(
+                len(result)
+                for result, _ in engine.anonymize_stream(
+                    chunked(iter(engine_fleet.dataset), _bench_chunk_size())
+                )
             )
-        )
 
     published = benchmark.pedantic(
         lambda: bench_timer("stream_publisher", "per_chunk_s", run_stream),
@@ -217,12 +218,12 @@ def test_bench_publish_shared_tf(
     )
 
     def run_publish():
-        publisher = StreamPublisher(
+        with StreamPublisher(
             GL(epsilon=1.0, signature_size=SIGNATURE_SIZE, seed=7)
-        )
-        return publisher.publish(
-            lambda: chunked(iter(engine_fleet.dataset), _bench_chunk_size())
-        )
+        ) as publisher:
+            return publisher.publish(
+                lambda: chunked(iter(engine_fleet.dataset), _bench_chunk_size())
+            )
 
     report = benchmark.pedantic(
         lambda: bench_timer("stream_publisher", "shared_tf_s", run_publish),

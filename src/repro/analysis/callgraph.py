@@ -1,4 +1,16 @@
-"""RACE001 — unlocked shared-state writes reachable from pool workers.
+"""Cross-module call-graph infrastructure and RACE001.
+
+Besides the RACE001 rule this module hosts the shared interprocedural
+machinery the flow-sensitive rules in :mod:`repro.analysis.builtin`
+stitch through: :class:`FunctionTable` (every module-level function
+and method of the analyzed project, with bare-name/import/alias
+resolution) and :class:`Summaries` (per-function facts — which
+parameters a function closes or settles, which locks it may acquire,
+whether it returns a fresh resource — propagated to a fixpoint over
+the call graph, so ``shutdown()`` calling ``self._spool.close()``
+three frames down still counts as a close).
+
+RACE001 — unlocked shared-state writes reachable from pool workers.
 
 The engine fans work over thread pools in three places: the local-stage
 shards (``parallel_map``), the sweep stream (``parallel_map_stream``),
@@ -20,6 +32,8 @@ approximation:
   to methods of the same class, and simple local aliases — both
   ``simulate = self._simulate_increase`` and the conditional-worker
   pattern ``runner = _worker_function`` before the submitting call.
+  Submitted workers wrapped in ``functools.partial(fn, ...)`` or a
+  ``lambda`` are unwrapped to the underlying function(s).
 * Calls on arbitrary receivers (``obj.method()``) are *not* followed:
   workers overwhelmingly call methods on worker-local objects they just
   built, and following them would drown the signal in false positives.
@@ -33,7 +47,7 @@ expression mentions a lock.
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass
+from dataclasses import dataclass, field as dataclass_field
 from typing import Iterable
 
 from .findings import Finding
@@ -52,7 +66,7 @@ _HOOK_NAMES = frozenset({"wave_map"})
 
 
 @dataclass(frozen=True)
-class _FuncKey:
+class FuncKey:
     """Identity of one function in the cross-module call graph."""
 
     module: str
@@ -65,47 +79,251 @@ class _FuncKey:
 
 
 @dataclass
-class _FuncNode:
-    key: _FuncKey
+class FuncNode:
+    key: FuncKey
     node: ast.AST  # FunctionDef | AsyncFunctionDef
     module: ModuleInfo
 
 
-class _FunctionTable:
+class FunctionTable:
     """Module-level functions and class methods of every analyzed module."""
 
     def __init__(self, project: Project) -> None:
-        self.functions: dict[_FuncKey, _FuncNode] = {}
+        self.functions: dict[FuncKey, FuncNode] = {}
         self.modules = project.by_name()
         for module in project.modules:
             for node in module.tree.body:
                 if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                    key = _FuncKey(module.name, None, node.name)
-                    self.functions[key] = _FuncNode(key, node, module)
+                    key = FuncKey(module.name, None, node.name)
+                    self.functions[key] = FuncNode(key, node, module)
                 elif isinstance(node, ast.ClassDef):
                     for item in node.body:
                         if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                            key = _FuncKey(module.name, node.name, item.name)
-                            self.functions[key] = _FuncNode(key, item, module)
+                            key = FuncKey(module.name, node.name, item.name)
+                            self.functions[key] = FuncNode(key, item, module)
 
-    def module_function(self, module: ModuleInfo, name: str) -> _FuncKey | None:
+    def module_function(self, module: ModuleInfo, name: str) -> FuncKey | None:
         """Resolve a bare name to a function: local module first, then
         through the import table to another analyzed module."""
-        key = _FuncKey(module.name, None, name)
+        key = FuncKey(module.name, None, name)
         if key in self.functions:
             return key
         qualified = module.aliases.get(name)
         if qualified and "." in qualified:
             target_module, _, func = qualified.rpartition(".")
             if target_module in self.modules:
-                key = _FuncKey(target_module, None, func)
+                key = FuncKey(target_module, None, func)
                 if key in self.functions:
                     return key
         return None
 
-    def method(self, module: ModuleInfo, cls: str, name: str) -> _FuncKey | None:
-        key = _FuncKey(module.name, cls, name)
+    def method(self, module: ModuleInfo, cls: str, name: str) -> FuncKey | None:
+        key = FuncKey(module.name, cls, name)
         return key if key in self.functions else None
+
+
+#: Backwards-compatible private aliases (pre-dataflow callers).
+_FuncKey = FuncKey
+_FuncNode = FuncNode
+_FunctionTable = FunctionTable
+
+
+def param_names(func: ast.AST) -> list[str]:
+    """Positional parameter names of ``func``, in call order."""
+    args = func.args
+    return [a.arg for a in (*args.posonlyargs, *args.args)]
+
+
+def lock_name(module: ModuleInfo, cls: str | None, expr: ast.expr) -> str | None:
+    """Stable identity of the lock acquired by ``with expr:``, or None
+    when ``expr`` does not look like a lock.
+
+    ``self.<attrs>`` locks unify across methods of the same class
+    (``module.Class.attr``); anything else is keyed on its source text
+    within the module (``module:text``) so repeated uses of e.g.
+    ``account.lock`` in one module compare equal.
+    """
+    try:
+        text = ast.unparse(expr)
+    except Exception:  # pragma: no cover - unparse is total on valid ASTs
+        return None
+    if "lock" not in text.lower():
+        return None
+    root = expr
+    while isinstance(root, ast.Attribute):
+        root = root.value
+    if isinstance(root, ast.Name) and root.id == "self" and isinstance(expr, ast.Attribute):
+        owner = cls or "self"
+        return f"{module.name}.{owner}.{text.partition('.')[2]}"
+    return f"{module.name}:{text}"
+
+
+@dataclass
+class FunctionSummary:
+    """Interprocedural facts about one function, including callees."""
+
+    #: Parameter names the function closes on some path (directly or
+    #: by forwarding to a closing callee).
+    closes: set[str] = dataclass_field(default_factory=set)
+    #: Parameter names it settles (``.commit``/``.release``).
+    settles: set[str] = dataclass_field(default_factory=set)
+    #: Lock identities it may acquire (transitively).
+    locks: set[str] = dataclass_field(default_factory=set)
+    #: Resource class name when the function returns a fresh instance.
+    returns_resource: str | None = None
+
+
+@dataclass
+class _CallSite:
+    callee: FuncKey
+    #: callee parameter name -> caller-local name passed for it.
+    arg_map: dict[str, str]
+    #: the Call result is returned directly (``return make()``).
+    returned: bool
+
+
+_CLOSE_ATTRS = frozenset({"close", "shutdown"})
+_SETTLE_ATTRS = frozenset({"commit", "release"})
+
+
+class Summaries:
+    """Per-function summaries, closed under the project call graph."""
+
+    def __init__(
+        self,
+        project: Project,
+        table: FunctionTable | None = None,
+        resource_classes: frozenset[str] = frozenset(),
+    ) -> None:
+        self.table = table if table is not None else FunctionTable(project)
+        self.resource_classes = frozenset(resource_classes)
+        self._summaries: dict[FuncKey, FunctionSummary] = {}
+        self._calls: dict[FuncKey, list[_CallSite]] = {}
+        for key, func in self.table.functions.items():
+            self._scan(key, func)
+        self._propagate()
+
+    def for_key(self, key: FuncKey) -> FunctionSummary | None:
+        return self._summaries.get(key)
+
+    def resolve_call(
+        self,
+        module: ModuleInfo,
+        cls: str | None,
+        call: ast.Call,
+    ) -> FuncKey | None:
+        """The analyzed function a call statically resolves to, if any."""
+        callee = call.func
+        if isinstance(callee, ast.Name):
+            return self.table.module_function(module, callee.id)
+        if (
+            isinstance(callee, ast.Attribute)
+            and isinstance(callee.value, ast.Name)
+            and callee.value.id == "self"
+            and cls is not None
+        ):
+            return self.table.method(module, cls, callee.attr)
+        return None
+
+    # -- direct facts ---------------------------------------------------
+
+    def _scan(self, key: FuncKey, func: FuncNode) -> None:
+        summary = FunctionSummary()
+        params = set(param_names(func.node))
+        calls: list[_CallSite] = []
+        returned_calls = {
+            id(stmt.value)
+            for stmt in ast.walk(func.node)
+            if isinstance(stmt, ast.Return) and isinstance(stmt.value, ast.Call)
+        }
+        for node in ast.walk(func.node):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    expr = item.context_expr
+                    name = lock_name(func.module, key.cls, expr)
+                    if name is not None:
+                        summary.locks.add(name)
+                    # ``with param:`` runs ``__exit__`` — a close.
+                    if isinstance(expr, ast.Name) and expr.id in params:
+                        summary.closes.add(expr.id)
+            elif isinstance(node, ast.Call):
+                callee = node.func
+                if (
+                    isinstance(callee, ast.Attribute)
+                    and isinstance(callee.value, ast.Name)
+                    and callee.value.id in params
+                ):
+                    if callee.attr in _CLOSE_ATTRS:
+                        summary.closes.add(callee.value.id)
+                    elif callee.attr in _SETTLE_ATTRS:
+                        summary.settles.add(callee.value.id)
+                target = self.resolve_call(func.module, key.cls, node)
+                if target is not None and target != key:
+                    calls.append(
+                        _CallSite(
+                            callee=target,
+                            arg_map=self._map_args(target, node),
+                            returned=id(node) in returned_calls,
+                        )
+                    )
+                if id(node) in returned_calls:
+                    cls_name = self._resource_class(func.module, node)
+                    if cls_name is not None:
+                        summary.returns_resource = cls_name
+        self._summaries[key] = summary
+        self._calls[key] = calls
+
+    def _map_args(self, target: FuncKey, call: ast.Call) -> dict[str, str]:
+        func = self.table.functions[target]
+        names = param_names(func.node)
+        if target.cls is not None and names and names[0] == "self":
+            names = names[1:]
+        mapping: dict[str, str] = {}
+        for position, arg in enumerate(call.args):
+            if position < len(names) and isinstance(arg, ast.Name):
+                mapping[names[position]] = arg.id
+        for keyword in call.keywords:
+            if keyword.arg is not None and isinstance(keyword.value, ast.Name):
+                mapping[keyword.arg] = keyword.value.id
+        return mapping
+
+    def _resource_class(self, module: ModuleInfo, call: ast.Call) -> str | None:
+        dotted = module.qualified(call.func) or module.dotted(call.func) or ""
+        tail = dotted.rpartition(".")[2]
+        return tail if tail in self.resource_classes else None
+
+    # -- fixpoint -------------------------------------------------------
+
+    def _propagate(self) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for key, calls in self._calls.items():
+                summary = self._summaries[key]
+                params = set(param_names(self.table.functions[key].node))
+                for site in calls:
+                    callee = self._summaries.get(site.callee)
+                    if callee is None:
+                        continue
+                    if not callee.locks <= summary.locks:
+                        summary.locks |= callee.locks
+                        changed = True
+                    for theirs, ours in site.arg_map.items():
+                        if ours not in params:
+                            continue
+                        if theirs in callee.closes and ours not in summary.closes:
+                            summary.closes.add(ours)
+                            changed = True
+                        if theirs in callee.settles and ours not in summary.settles:
+                            summary.settles.add(ours)
+                            changed = True
+                    if (
+                        site.returned
+                        and callee.returns_resource
+                        and summary.returns_resource is None
+                    ):
+                        summary.returns_resource = callee.returns_resource
+                        changed = True
 
 
 def _local_self_aliases(func: ast.AST) -> dict[str, list[str]]:
@@ -141,6 +359,22 @@ def _local_name_aliases(func: ast.AST) -> dict[str, list[str]]:
         if isinstance(target, ast.Name) and isinstance(node.value, ast.Name):
             aliases.setdefault(target.id, []).append(node.value.id)
     return aliases
+
+
+def _local_callable_values(func: ast.AST) -> dict[str, list[ast.expr]]:
+    """``name -> [value, ...]`` for ``name = partial(fn, ...)`` /
+    ``name = lambda: ...`` assignments in ``func``'s body — wrapped
+    workers bound to a local before submission."""
+    values: dict[str, list[ast.expr]] = {}
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if isinstance(target, ast.Name) and isinstance(
+            node.value, (ast.Call, ast.Lambda)
+        ):
+            values.setdefault(target.id, []).append(node.value)
+    return values
 
 
 def _is_lock_guard(node: ast.With | ast.AsyncWith) -> bool:
@@ -320,9 +554,33 @@ class UnlockedSharedWrite(Rule):
         cls: ast.ClassDef | None,
         func: ast.AST | None,
         node: ast.expr,
+        seen: set[int] | None = None,
     ) -> list[_FuncKey]:
         """Function(s) a worker-callable expression may denote."""
+        seen = set() if seen is None else seen
+        if id(node) in seen:
+            return []
+        seen.add(id(node))
         keys: list[_FuncKey] = []
+        if isinstance(node, ast.Call):
+            # functools.partial(fn, ...): the eventual callable is fn.
+            dotted = module.qualified(node.func) or module.dotted(node.func) or ""
+            if dotted.rpartition(".")[2] == "partial" and node.args:
+                return self._resolve_callable(
+                    table, module, cls, func, node.args[0], seen
+                )
+            return keys
+        if isinstance(node, ast.Lambda):
+            # lambda shard: _worker(shard, cfg) — every call made by the
+            # lambda body runs on the pool.
+            for inner in ast.walk(node.body):
+                if isinstance(inner, ast.Call):
+                    keys.extend(
+                        self._resolve_callable(
+                            table, module, cls, func, inner.func, seen
+                        )
+                    )
+            return keys
         if isinstance(node, ast.Attribute):
             if (
                 isinstance(node.value, ast.Name)
@@ -344,6 +602,12 @@ class UnlockedSharedWrite(Rule):
                     key = table.module_function(module, other)
                     if key is not None:
                         keys.append(key)
+                for value in _local_callable_values(func).get(node.id, ()):
+                    keys.extend(
+                        self._resolve_callable(
+                            table, module, cls, func, value, seen
+                        )
+                    )
             key = table.module_function(module, node.id)
             if key is not None:
                 keys.append(key)

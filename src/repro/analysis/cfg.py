@@ -1,0 +1,472 @@
+"""Intraprocedural control-flow graphs over ``ast``.
+
+:func:`build_cfg` turns one function body into a :class:`CFG`: one
+node per statement (plus synthetic ``entry``/``exit``/``raise``
+nodes), with edges labelled by *kind* so a dataflow client can tell a
+normal fall-through from an exception edge. The graph models the
+control constructs the flow-sensitive rules care about:
+
+* branches (``if``/``elif``/``else``), with ``true``/``false`` edges
+  out of the test node;
+* loops (``while``/``for``, both with ``else``), with ``back`` edges
+  to the loop head and ``break``/``continue`` jumps — ``while`` over
+  a constant-true test gets no ``false`` edge (the only exits are
+  ``break``/``return``/``raise``);
+* ``try``/``except``/``else``/``finally``: every may-raise statement
+  gets an ``exc`` edge to the live handlers (and, when no handler is
+  a catch-all, onward to the enclosing context or the ``raise``
+  exit). ``finally`` bodies are *duplicated per continuation* — the
+  normal instance plus lazily-built copies for the exception,
+  ``return``, ``break``, and ``continue`` unwind paths (copy nodes
+  carry a ``~exc``/``~return``/… label tag) — so a ``return`` inside
+  a ``finally`` correctly swallows the pending exception;
+* ``with``: the body is bracketed by a synthetic ``WithExit`` node
+  per leaving path, because ``__exit__`` runs on *every* exit,
+  including the exception edge — the resource-lifecycle rule treats
+  that node as the release point;
+* early ``return``/``raise`` (threaded through enclosing ``finally``
+  blocks, innermost first).
+
+Exception edges are deliberately conservative: every statement that
+can plausibly raise (anything but ``pass``/``break``/``continue``/
+``global``/``nonlocal``) gets one. That is exactly the pessimism the
+lifecycle and ledger rules need — "the statement between ``reserve``
+and ``commit`` may raise" is the bug class they exist to catch.
+
+The graph is deterministic: nodes are numbered in creation order and
+:meth:`CFG.edge_set` renders ``(src_label, dst_label, kind)`` triples
+the corner-case tests assert exactly.
+
+This module is a leaf — stdlib ``ast`` only. The fixpoint engine that
+consumes these graphs lives in :mod:`repro.analysis.dataflow`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = ["CFG", "Edge", "Node", "build_cfg"]
+
+#: Statements that can never raise at runtime (no expression is
+#: evaluated); everything else gets a conservative ``exc`` edge.
+_NO_RAISE = (ast.Pass, ast.Break, ast.Continue, ast.Global, ast.Nonlocal)
+
+
+@dataclass
+class Node:
+    """One CFG node: a statement, or a synthetic control point."""
+
+    #: Position in ``cfg.nodes`` (creation order; edges reference it).
+    index: int
+    #: ``"entry"`` | ``"exit"`` | ``"raise"`` | ``"stmt"`` |
+    #: ``"handler"`` | ``"with-exit"``.
+    kind: str
+    #: The statement (or ``ExceptHandler``/``With``) this node models;
+    #: None for ``entry``/``exit``/``raise``.
+    stmt: ast.AST | None = None
+    #: Unwind-copy tags (``("exc",)`` for a node inside the
+    #: exception-path copy of a ``finally`` body). Empty for the
+    #: primary instance.
+    tags: tuple[str, ...] = ()
+
+    @property
+    def label(self) -> str:
+        """Stable human identity: ``Assign:4``, ``WithExit:7~exc``…"""
+        if self.kind in ("entry", "exit", "raise"):
+            return self.kind
+        if self.kind == "with-exit":
+            base = f"WithExit:{self.stmt.lineno}"
+        else:
+            base = f"{type(self.stmt).__name__}:{self.stmt.lineno}"
+        return base + "".join(f"~{tag}" for tag in self.tags)
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed control-flow edge between two node indices.
+
+    Kinds: ``next`` (sequential), ``true``/``false`` (out of a branch
+    or loop test), ``back`` (loop back edge), ``break``/``continue``/
+    ``return`` (jumps, threaded through ``finally`` copies), ``raise``
+    (out of an explicit ``raise``), ``exc`` (implicit may-raise).
+    Dataflow clients propagate the *pre-effect* state along ``exc``
+    edges and the post-effect state along everything else.
+    """
+
+    src: int
+    dst: int
+    kind: str
+
+
+@dataclass
+class CFG:
+    """The control-flow graph of one function."""
+
+    func: ast.AST
+    nodes: list[Node] = field(default_factory=list)
+    edges: list[Edge] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._edge_keys: set[tuple[int, int, str]] = set()
+        self.entry = self._new("entry")
+        self.exit = self._new("exit")
+        self.raise_exit = self._new("raise")
+
+    def _new(
+        self, kind: str, stmt: ast.AST | None = None, tags: tuple[str, ...] = ()
+    ) -> Node:
+        node = Node(index=len(self.nodes), kind=kind, stmt=stmt, tags=tags)
+        self.nodes.append(node)
+        return node
+
+    def add_edge(self, src: Node, dst: Node, kind: str) -> None:
+        key = (src.index, dst.index, kind)
+        if key in self._edge_keys:
+            return
+        self._edge_keys.add(key)
+        self.edges.append(Edge(src.index, dst.index, kind))
+
+    # -- queries --------------------------------------------------------
+
+    def successors(self, node: Node) -> list[tuple[Node, str]]:
+        return [
+            (self.nodes[edge.dst], edge.kind)
+            for edge in self.edges
+            if edge.src == node.index
+        ]
+
+    def predecessors(self, node: Node) -> list[tuple[Node, str]]:
+        return [
+            (self.nodes[edge.src], edge.kind)
+            for edge in self.edges
+            if edge.dst == node.index
+        ]
+
+    def edge_set(self) -> set[tuple[str, str, str]]:
+        """``{(src_label, dst_label, kind)}`` — the exact-edge-set form
+        the CFG corner-case tests assert against."""
+        return {
+            (self.nodes[e.src].label, self.nodes[e.dst].label, e.kind)
+            for e in self.edges
+        }
+
+
+# -- builder frames ------------------------------------------------------
+
+
+@dataclass
+class _LoopFrame:
+    """``break``/``continue`` targets of the innermost loop."""
+
+    head: Node
+    breaks: list[tuple[Node, str]] = field(default_factory=list)
+
+
+@dataclass
+class _HandlerFrame:
+    """Live ``except`` clauses of an enclosing ``try``."""
+
+    entries: list[Node]
+    catch_all: bool
+
+
+@dataclass
+class _FinallyFrame:
+    """An enclosing ``finally`` body every unwind must run."""
+
+    body: list[ast.stmt]
+    #: kind -> entry node of the lazily-built unwind copy.
+    copies: dict[str, Node] = field(default_factory=dict)
+
+
+@dataclass
+class _WithFrame:
+    """An enclosing ``with`` whose ``__exit__`` runs on every unwind."""
+
+    stmt: ast.AST
+    copies: dict[str, Node] = field(default_factory=dict)
+
+
+def _is_constant_true(test: ast.expr) -> bool:
+    return isinstance(test, ast.Constant) and bool(test.value)
+
+
+def _is_catch_all(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    return isinstance(handler.type, ast.Name) and handler.type.id in (
+        "BaseException",
+        "Exception",
+    )
+
+
+class _Builder:
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        self.frames: list = []
+        #: Accumulated unwind-copy tags for nodes created right now.
+        self.tags: tuple[str, ...] = ()
+
+    def build(self, func: ast.AST) -> None:
+        dangling = self._stmts(func.body, [(self.cfg.entry, "next")])
+        self._connect(dangling, self.cfg.exit)
+
+    # -- plumbing ------------------------------------------------------
+
+    def _node(self, kind: str, stmt: ast.AST | None) -> Node:
+        return self.cfg._new(kind, stmt, self.tags)
+
+    def _connect(
+        self,
+        preds: list[tuple[Node, str]],
+        target: Node,
+        kind: str | None = None,
+    ) -> None:
+        for node, edge_kind in preds:
+            self.cfg.add_edge(node, target, kind or edge_kind)
+
+    def _stmts(
+        self, body: list[ast.stmt], preds: list[tuple[Node, str]]
+    ) -> list[tuple[Node, str]]:
+        for stmt in body:
+            preds = self._stmt(stmt, preds)
+        return preds
+
+    def _stmt(
+        self, stmt: ast.stmt, preds: list[tuple[Node, str]]
+    ) -> list[tuple[Node, str]]:
+        handler = getattr(self, f"_build_{type(stmt).__name__}", None)
+        if handler is not None:
+            return handler(stmt, preds)
+        return self._simple(stmt, preds)
+
+    def _simple(
+        self, stmt: ast.stmt, preds: list[tuple[Node, str]]
+    ) -> list[tuple[Node, str]]:
+        node = self._node("stmt", stmt)
+        self._connect(preds, node)
+        if not isinstance(stmt, _NO_RAISE):
+            self._route_exception(node)
+        return [(node, "next")]
+
+    # -- unwind routing ------------------------------------------------
+
+    def _route_exception(self, src: Node, kind: str = "exc") -> None:
+        """Wire ``src`` (which may raise) to every live landing site."""
+        for position in range(len(self.frames) - 1, -1, -1):
+            frame = self.frames[position]
+            if isinstance(frame, _HandlerFrame):
+                for entry in frame.entries:
+                    self.cfg.add_edge(src, entry, kind)
+                if frame.catch_all:
+                    return
+            elif isinstance(frame, (_FinallyFrame, _WithFrame)):
+                entry = self._cleanup_entry(frame, "exc", position)
+                self.cfg.add_edge(src, entry, kind)
+                return
+        self.cfg.add_edge(src, self.cfg.raise_exit, kind)
+
+    def _route_return(self, src: Node) -> None:
+        for position in range(len(self.frames) - 1, -1, -1):
+            frame = self.frames[position]
+            if isinstance(frame, (_FinallyFrame, _WithFrame)):
+                entry = self._cleanup_entry(frame, "return", position)
+                self.cfg.add_edge(src, entry, "return")
+                return
+        self.cfg.add_edge(src, self.cfg.exit, "return")
+
+    def _route_break(self, src: Node) -> None:
+        for position in range(len(self.frames) - 1, -1, -1):
+            frame = self.frames[position]
+            if isinstance(frame, _LoopFrame):
+                frame.breaks.append((src, "break"))
+                return
+            if isinstance(frame, (_FinallyFrame, _WithFrame)):
+                entry = self._cleanup_entry(frame, "break", position)
+                self.cfg.add_edge(src, entry, "break")
+                return
+
+    def _route_continue(self, src: Node) -> None:
+        for position in range(len(self.frames) - 1, -1, -1):
+            frame = self.frames[position]
+            if isinstance(frame, _LoopFrame):
+                self.cfg.add_edge(src, frame.head, "continue")
+                return
+            if isinstance(frame, (_FinallyFrame, _WithFrame)):
+                entry = self._cleanup_entry(frame, "continue", position)
+                self.cfg.add_edge(src, entry, "continue")
+                return
+
+    def _cleanup_entry(self, frame, kind: str, position: int) -> Node:
+        """Entry node of ``frame``'s unwind copy for ``kind`` — built
+        lazily once, with the frame stack trimmed to the contexts that
+        enclose the ``try``/``with`` itself (a ``return`` *inside* the
+        copy must unwind from there, not from the unwind source)."""
+        cached = frame.copies.get(kind)
+        if cached is not None:
+            return cached
+        saved_frames, saved_tags = self.frames, self.tags
+        self.frames = saved_frames[:position]
+        self.tags = saved_tags + (kind,)
+        try:
+            if isinstance(frame, _WithFrame):
+                entry = self._node("with-exit", frame.stmt)
+                dangling: list[tuple[Node, str]] = [(entry, kind)]
+            else:
+                mark = len(self.cfg.nodes)
+                dangling = self._stmts(frame.body, [])
+                entry = self.cfg.nodes[mark]
+            frame.copies[kind] = entry
+            router = {
+                "exc": self._route_exception,
+                "return": self._route_return,
+                "break": self._route_break,
+                "continue": self._route_continue,
+            }[kind]
+            for node, _ in dangling:
+                router(node)
+        finally:
+            self.frames, self.tags = saved_frames, saved_tags
+        return entry
+
+    # -- statement builders --------------------------------------------
+
+    def _build_Return(self, stmt, preds):
+        node = self._node("stmt", stmt)
+        self._connect(preds, node)
+        if stmt.value is not None:
+            self._route_exception(node)
+        self._route_return(node)
+        return []
+
+    def _build_Raise(self, stmt, preds):
+        node = self._node("stmt", stmt)
+        self._connect(preds, node)
+        self._route_exception(node, kind="raise")
+        return []
+
+    def _build_Break(self, stmt, preds):
+        node = self._node("stmt", stmt)
+        self._connect(preds, node)
+        self._route_break(node)
+        return []
+
+    def _build_Continue(self, stmt, preds):
+        node = self._node("stmt", stmt)
+        self._connect(preds, node)
+        self._route_continue(node)
+        return []
+
+    def _build_If(self, stmt, preds):
+        node = self._node("stmt", stmt)
+        self._connect(preds, node)
+        self._route_exception(node)
+        dangling = self._stmts(stmt.body, [(node, "true")])
+        if stmt.orelse:
+            dangling += self._stmts(stmt.orelse, [(node, "false")])
+        else:
+            dangling.append((node, "false"))
+        return dangling
+
+    def _build_While(self, stmt, preds):
+        node = self._node("stmt", stmt)
+        self._connect(preds, node)
+        self._route_exception(node)
+        loop = _LoopFrame(head=node)
+        self.frames.append(loop)
+        body = self._stmts(stmt.body, [(node, "true")])
+        self.frames.pop()
+        self._connect(body, node, kind="back")
+        dangling: list[tuple[Node, str]] = []
+        if not _is_constant_true(stmt.test):
+            # The `else` clause runs only on normal exhaustion, which a
+            # constant-true loop never reaches.
+            if stmt.orelse:
+                dangling += self._stmts(stmt.orelse, [(node, "false")])
+            else:
+                dangling.append((node, "false"))
+        dangling += loop.breaks
+        return dangling
+
+    def _build_For(self, stmt, preds):
+        node = self._node("stmt", stmt)
+        self._connect(preds, node)
+        self._route_exception(node)
+        loop = _LoopFrame(head=node)
+        self.frames.append(loop)
+        body = self._stmts(stmt.body, [(node, "true")])
+        self.frames.pop()
+        self._connect(body, node, kind="back")
+        if stmt.orelse:
+            dangling = self._stmts(stmt.orelse, [(node, "false")])
+        else:
+            dangling = [(node, "false")]
+        dangling += loop.breaks
+        return dangling
+
+    _build_AsyncFor = _build_For
+
+    def _build_With(self, stmt, preds):
+        node = self._node("stmt", stmt)
+        self._connect(preds, node)
+        # Context-expression / __enter__ failures happen *before* the
+        # resource is held, so they route past __exit__.
+        self._route_exception(node)
+        frame = _WithFrame(stmt=stmt)
+        self.frames.append(frame)
+        body = self._stmts(stmt.body, [(node, "next")])
+        self.frames.pop()
+        with_exit = self._node("with-exit", stmt)
+        self._connect(body, with_exit)
+        return [(with_exit, "next")]
+
+    _build_AsyncWith = _build_With
+
+    def _build_Try(self, stmt, preds):
+        finally_frame = None
+        if stmt.finalbody:
+            finally_frame = _FinallyFrame(body=stmt.finalbody)
+            self.frames.append(finally_frame)
+        handler_nodes: list[Node] = []
+        if stmt.handlers:
+            handler_nodes = [self._node("handler", h) for h in stmt.handlers]
+            self.frames.append(
+                _HandlerFrame(
+                    entries=handler_nodes,
+                    catch_all=any(_is_catch_all(h) for h in stmt.handlers),
+                )
+            )
+        dangling = self._stmts(stmt.body, preds)
+        if stmt.handlers:
+            # Handlers stop catching here: exceptions raised in the
+            # handler bodies or the else clause route outward.
+            self.frames.pop()
+        if stmt.orelse:
+            dangling = self._stmts(stmt.orelse, dangling)
+        for handler_node, handler in zip(
+            handler_nodes, stmt.handlers, strict=True
+        ):
+            dangling += self._stmts(handler.body, [(handler_node, "next")])
+        if finally_frame is not None:
+            self.frames.pop()
+            # The normal-completion instance of the finally body (the
+            # unwind copies are built lazily as they are needed).
+            dangling = self._stmts(stmt.finalbody, dangling)
+        return dangling
+
+    _build_TryStar = _build_Try
+
+
+def build_cfg(func: ast.AST) -> CFG:
+    """The CFG of one ``FunctionDef``/``AsyncFunctionDef``.
+
+    Nested function and class definitions inside ``func`` are treated
+    as single opaque statements — each gets its own CFG when the rule
+    walks to it.
+    """
+    if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        raise TypeError(f"build_cfg wants a function node, got {type(func).__name__}")
+    cfg = CFG(func=func)
+    _Builder(cfg).build(func)
+    return cfg

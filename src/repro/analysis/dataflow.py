@@ -1,0 +1,132 @@
+"""Forward worklist dataflow over :mod:`repro.analysis.cfg` graphs.
+
+The engine is deliberately small: a rule subclasses
+:class:`Transfer`, describes its lattice through ``initial``/``join``,
+and gives each statement's effect in ``transfer``, which returns *two*
+post-states — the state on normal completion and the state when the
+statement raises partway through. :func:`fixpoint` then iterates to
+convergence: the in-state of a node joins, over its incoming edges,
+the exception post-state of predecessors reached via ``exc``/``raise``
+edges and the normal post-state otherwise. (That split is what makes
+"``reserve`` happened but the very next line blew up" representable:
+on the exception edge the reservation is still pending.)
+
+States must be hashable-comparable values drawn from a finite lattice
+(the built-in rules use ``dict[str, frozenset]`` environments — a
+powerset lattice, so monotone joins terminate). The engine never
+mutates a state it is handed; transfers must likewise return fresh
+values rather than mutating their input.
+
+After convergence a rule typically makes one more pass over the nodes
+with :meth:`Solution.in_state` to emit findings — e.g. "a ``closed``
+resource flows into this use" — keeping the transfer function pure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from .cfg import CFG, Node
+
+__all__ = ["Solution", "Transfer", "fixpoint"]
+
+#: Edge kinds that carry the *exception* post-state of their source.
+_EXC_KINDS = frozenset({"exc", "raise"})
+
+
+class Transfer:
+    """Pluggable transfer function: lattice + per-statement effect."""
+
+    def initial(self) -> Any:
+        """State entering the function (at the synthetic entry node)."""
+        return {}
+
+    def join(self, left: Any, right: Any) -> Any:
+        """Least upper bound of two states.
+
+        The default merges ``dict[key, frozenset]`` environments by
+        unioning the sets key-wise — the shape every built-in rule
+        uses. Override for other lattices.
+        """
+        if not left:
+            return right
+        if not right:
+            return left
+        merged = dict(left)
+        for key, value in right.items():
+            seen = merged.get(key)
+            merged[key] = value if seen is None else seen | value
+        return merged
+
+    def transfer(self, node: Node, state: Any) -> tuple[Any, Any]:
+        """``(post_normal, post_exception)`` after executing ``node``.
+
+        The exception component is the state observed along outgoing
+        ``exc``/``raise`` edges; the common conservative answer is the
+        *pre*-state (the statement failed before completing its
+        effect), which is what this identity default provides.
+        """
+        return state, state
+
+
+@dataclass
+class Solution:
+    """Converged states, keyed by node index."""
+
+    cfg: CFG
+    transfer_fn: Transfer
+    _in: dict[int, Any]
+
+    def in_state(self, node: Node) -> Any:
+        """State just before ``node`` executes (None if unreachable)."""
+        return self._in.get(node.index)
+
+    def reachable(self, node: Node) -> bool:
+        return node.index in self._in
+
+
+def fixpoint(cfg: CFG, transfer_fn: Transfer) -> Solution:
+    """Run ``transfer_fn`` to convergence over ``cfg``."""
+    preds: dict[int, list[tuple[int, str]]] = {}
+    succs: dict[int, list[int]] = {}
+    for edge in cfg.edges:
+        preds.setdefault(edge.dst, []).append((edge.src, edge.kind))
+        succs.setdefault(edge.src, []).append(edge.dst)
+
+    in_states: dict[int, Any] = {cfg.entry.index: transfer_fn.initial()}
+    out_states: dict[int, tuple[Any, Any]] = {}
+    worklist: list[int] = [cfg.entry.index]
+    queued = {cfg.entry.index}
+    while worklist:
+        index = worklist.pop(0)
+        queued.discard(index)
+        node = cfg.nodes[index]
+        state = in_states[index]
+        post = transfer_fn.transfer(node, state)
+        if out_states.get(index) == post:
+            continue
+        out_states[index] = post
+        post_normal, post_exc = post
+        for dst in succs.get(index, ()):  # recompute each touched in-state
+            joined: Any = None
+            seeded = False
+            if dst == cfg.entry.index:
+                joined, seeded = transfer_fn.initial(), True
+            for src, kind in preds.get(dst, ()):
+                src_post = out_states.get(src)
+                if src_post is None:
+                    continue
+                incoming = src_post[1] if kind in _EXC_KINDS else src_post[0]
+                if not seeded:
+                    joined, seeded = incoming, True
+                else:
+                    joined = transfer_fn.join(joined, incoming)
+            if not seeded:
+                continue
+            if dst not in in_states or in_states[dst] != joined:
+                in_states[dst] = joined
+                if dst not in queued:
+                    queued.add(dst)
+                    worklist.append(dst)
+    return Solution(cfg=cfg, transfer_fn=transfer_fn, _in=in_states)

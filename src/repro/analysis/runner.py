@@ -15,13 +15,38 @@ from typing import Iterable, Sequence
 
 from .baseline import Baseline, BaselineEntry
 from .findings import Finding
-from .rules import Rule, rules_for
-from .visitor import ModuleInfo, Project, module_name_for
+from .rules import Rule, iter_codes, rules_for
+from .visitor import ALL_CODES, ModuleInfo, Project, module_name_for
+
+#: JSON-schema-store URI for SARIF 2.1.0 (what GitHub code scanning
+#: validates uploads against).
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
 
 
 class AnalysisError(Exception):
     """The analyzer itself failed (unreadable file, syntax error) —
     distinct from "findings exist"; maps to exit code 2."""
+
+
+@dataclass(frozen=True)
+class UnusedNoqa:
+    """A ``# repro: noqa`` comment that suppressed nothing this run."""
+
+    path: str
+    line: int
+    #: The dead codes (``("*",)`` for a bare ``# repro: noqa``).
+    codes: tuple[str, ...]
+
+    def render(self) -> str:
+        spec = "" if self.codes == (ALL_CODES,) else f"[{', '.join(self.codes)}]"
+        return (
+            f"warning: unused suppression `# repro: noqa{spec}` at "
+            f"{self.path}:{self.line} — nothing it names fires there; "
+            f"remove it so it cannot mask a future regression"
+        )
+
+    def to_dict(self) -> dict:
+        return {"path": self.path, "line": self.line, "codes": list(self.codes)}
 
 
 @dataclass
@@ -36,6 +61,9 @@ class AnalysisReport:
     baselined: list[Finding] = field(default_factory=list)
     #: Baseline entries that matched nothing (should be deleted).
     stale_baseline: list[BaselineEntry] = field(default_factory=list)
+    #: ``# repro: noqa`` comments that suppressed nothing (warnings —
+    #: they do not affect the exit code).
+    unused_noqa: list[UnusedNoqa] = field(default_factory=list)
     #: Files analyzed.
     files: int = 0
     #: Rule codes that ran.
@@ -57,7 +85,65 @@ class AnalysisReport:
             "suppressed": [f.to_dict() for f in self.suppressed],
             "baselined": [f.to_dict() for f in self.baselined],
             "stale_baseline": [e.to_dict() for e in self.stale_baseline],
+            "unused_noqa": [u.to_dict() for u in self.unused_noqa],
             "clean": self.clean,
+        }
+
+    def to_sarif(self) -> dict:
+        """The report as a SARIF 2.1.0 log (one run), ready for GitHub
+        code-scanning upload. Only counted findings become results;
+        suppressed/baselined ones are omitted."""
+        from .rules import all_rules
+
+        ran = set(self.codes)
+        driver_rules = [
+            {
+                "id": rule.code,
+                "name": type(rule).__name__,
+                "shortDescription": {"text": rule.summary},
+                "fullDescription": {"text": rule.rationale},
+                "help": {"text": rule.example},
+            }
+            for rule in all_rules()
+            if rule.code in ran
+        ]
+        results = []
+        for finding in self.findings:
+            region: dict = {
+                "startLine": finding.line,
+                "startColumn": finding.col + 1,
+            }
+            if finding.snippet:
+                region["snippet"] = {"text": finding.snippet}
+            results.append(
+                {
+                    "ruleId": finding.code,
+                    "level": "error",
+                    "message": {"text": finding.message},
+                    "locations": [
+                        {
+                            "physicalLocation": {
+                                "artifactLocation": {"uri": finding.path},
+                                "region": region,
+                            }
+                        }
+                    ],
+                }
+            )
+        return {
+            "$schema": SARIF_SCHEMA,
+            "version": "2.1.0",
+            "runs": [
+                {
+                    "tool": {
+                        "driver": {
+                            "name": "repro-check",
+                            "rules": driver_rules,
+                        }
+                    },
+                    "results": results,
+                }
+            ],
         }
 
     def render_human(self) -> str:
@@ -72,6 +158,8 @@ class AnalysisReport:
                 f"{entry.path!r} ({entry.snippet!r}) matches nothing — "
                 f"delete it"
             )
+        for unused in self.unused_noqa:
+            lines.append(unused.render())
         summary = (
             f"checked {self.files} file(s) against "
             f"{len(self.codes)} rule(s): "
@@ -167,9 +255,40 @@ def analyze_project(
         suppressed=suppressed,
         baselined=baselined,
         stale_baseline=stale,
+        unused_noqa=_unused_suppressions(project, suppressed, rules),
         files=len(project.modules),
         codes=[rule.code for rule in rules],
     )
+
+
+def _unused_suppressions(
+    project: Project, suppressed: Sequence[Finding], rules: Sequence[Rule]
+) -> list[UnusedNoqa]:
+    """``# repro: noqa`` comments nothing in this run needed.
+
+    A named code is only called unused when that code actually ran; a
+    bare ``# repro: noqa`` is only called unused when the full rule set
+    ran (a restricted ``--rules`` run cannot tell what it would have
+    suppressed)."""
+    used: dict[tuple[str, int], set[str]] = {}
+    for finding in suppressed:
+        used.setdefault((finding.path, finding.line), set()).add(finding.code)
+    ran = {rule.code for rule in rules}
+    full_run = ran >= set(iter_codes())
+    unused: list[UnusedNoqa] = []
+    for module in project.modules:
+        for line, named in sorted(module.noqa.items()):
+            used_here = used.get((module.path, line), set())
+            if ALL_CODES in named:
+                if full_run and not used_here:
+                    unused.append(UnusedNoqa(module.path, line, (ALL_CODES,)))
+                continue
+            dead = tuple(
+                sorted(code for code in named if code in ran and code not in used_here)
+            )
+            if dead:
+                unused.append(UnusedNoqa(module.path, line, dead))
+    return unused
 
 
 def analyze_paths(

@@ -12,11 +12,15 @@ rules that need cross-module facts (the RACE001 call graph) walk it.
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
 
-#: ``# repro: noqa`` or ``# repro: noqa[DP001, DET001]``
+#: ``# repro: noqa`` or ``# repro: noqa[DP001, DET001]``. Matched only
+#: against COMMENT tokens, anchored at the ``#`` — mentions of the
+#: syntax inside docstrings or prose comments never register.
 _NOQA = re.compile(
     r"#\s*repro:\s*noqa(?:\[([A-Za-z0-9_,\s]+)\])?", re.IGNORECASE
 )
@@ -79,8 +83,19 @@ class ModuleInfo:
                     self.aliases[local] = f"{base}.{alias.name}" if base else alias.name
 
     def _collect_noqa(self) -> None:
-        for number, text in enumerate(self.lines, start=1):
-            match = _NOQA.search(text)
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(self.source).readline)
+            comments = [
+                (token.start[0], token.string)
+                for token in tokens
+                if token.type == tokenize.COMMENT
+            ]
+        except (tokenize.TokenError, IndentationError):  # pragma: no cover
+            # The file already parsed with ``ast``, so this is near
+            # impossible — but a broken tokenizer must not kill analysis.
+            comments = list(enumerate(self.lines, start=1))
+        for number, text in comments:
+            match = _NOQA.match(text)
             if not match:
                 continue
             codes = match.group(1)

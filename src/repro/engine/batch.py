@@ -360,15 +360,15 @@ class BatchAnonymizer:
         self._ensure_open()
         from repro.engine.publish import StreamPublisher  # lazy: cycle
 
-        publisher = StreamPublisher(
+        with StreamPublisher(
             self,
             workers=publish_workers,
             executor=publish_executor,
             spill_dir=spill_dir,
             window=window,
             apportionment=apportionment,
-        )
-        return publisher.publish(chunks, sink=sink, byte_sink=byte_sink)
+        ) as publisher:
+            return publisher.publish(chunks, sink=sink, byte_sink=byte_sink)
 
     def anonymize_many(
         self, datasets: Iterable[TrajectoryDataset]

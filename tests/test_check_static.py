@@ -49,14 +49,22 @@ class TestRepoIsClean:
 
 
 class TestInjectedViolation:
-    """The acceptance gate: an injected unledgered draw must fail CI."""
+    """The acceptance gate: each seeded violation must fail CI with
+    exit 1 (and a broken checker must exit 2, not pass silently)."""
 
     def inject(self, check_static, monkeypatch, tmp_path, source):
         tree = tmp_path / "repro_fixture"
         tree.mkdir()
         (tree / "leaky.py").write_text(textwrap.dedent(source))
-        monkeypatch.setattr(check_static, "SOURCE_TREE", tree)
+        monkeypatch.setattr(check_static, "ANALYSIS_ROOTS", (tree,))
         monkeypatch.setattr(check_static, "BASELINE", tmp_path / "missing.json")
+
+    def assert_fails_with(self, check_static, capsys, code):
+        assert check_static.main(["analysis"]) == 1
+        out = capsys.readouterr().out
+        assert code in out
+        assert "[ FAIL] analysis:" in out
+        assert "static gate failed: analysis" in out
 
     def test_unledgered_draw_fails_gate(
         self, check_static, monkeypatch, tmp_path, capsys
@@ -69,11 +77,79 @@ class TestInjectedViolation:
                     return self.mechanism.perturb_count(count, rng)
             """,
         )
-        assert check_static.main(["analysis"]) == 1
-        out = capsys.readouterr().out
-        assert "DP001" in out
-        assert "[ FAIL] analysis:" in out
-        assert "static gate failed: analysis" in out
+        self.assert_fails_with(check_static, capsys, "DP001")
+
+    def test_dropped_epsilon_share_fails_gate(
+        self, check_static, monkeypatch, tmp_path, capsys
+    ):
+        self.inject(
+            check_static, monkeypatch, tmp_path,
+            """
+            def allocate(epsilon, mechanism):
+                eps_general = epsilon * 0.5
+                eps_tail = epsilon * 0.5
+                return mechanism.run(eps_tail)
+            """,
+        )
+        self.assert_fails_with(check_static, capsys, "EPS002")
+
+    def test_unclosed_store_on_exception_path_fails_gate(
+        self, check_static, monkeypatch, tmp_path, capsys
+    ):
+        self.inject(
+            check_static, monkeypatch, tmp_path,
+            """
+            class SpillStore:
+                def append(self, row):
+                    pass
+
+                def close(self):
+                    pass
+
+
+            def spill_all(rows):
+                store = SpillStore()
+                for row in rows:
+                    store.append(row)
+                store.close()
+                return len(rows)
+            """,
+        )
+        self.assert_fails_with(check_static, capsys, "LIFE001")
+
+    def test_unreleased_reservation_fails_gate(
+        self, check_static, monkeypatch, tmp_path, capsys
+    ):
+        self.inject(
+            check_static, monkeypatch, tmp_path,
+            """
+            def spend(store, tenant, job, eps, work):
+                rid = store.reserve(tenant, job, eps)
+                work(rid)
+                store.commit(tenant, rid)
+            """,
+        )
+        self.assert_fails_with(check_static, capsys, "LEDGER001")
+
+    def test_inverted_lock_pair_fails_gate(
+        self, check_static, monkeypatch, tmp_path, capsys
+    ):
+        self.inject(
+            check_static, monkeypatch, tmp_path,
+            """
+            class Engine:
+                def flush(self):
+                    with self.store_lock:
+                        with self.job_lock:
+                            pass
+
+                def cancel(self):
+                    with self.job_lock:
+                        with self.store_lock:
+                            pass
+            """,
+        )
+        self.assert_fails_with(check_static, capsys, "RACE002")
 
     def test_checker_crash_exits_two(
         self, check_static, monkeypatch, tmp_path, capsys

@@ -4,9 +4,12 @@
 Runs four sections and renders them in one unified format:
 
 ``analysis``
-    The project's AST rules (``repro.analysis``: DP001/DET001/DET002/
-    RACE001/EPS001) over ``src/repro``, against the committed baseline
-    ``tools/analysis_baseline.json``.
+    The project's AST rules (``repro.analysis``: the syntactic codes
+    DP001/DET001/DET002/RACE001/EPS001 plus the flow-sensitive
+    EPS002/LIFE001/LEDGER001/RACE002) over ``src/repro``, ``tools``,
+    ``benchmarks``, and ``examples``, against the committed baseline
+    ``tools/analysis_baseline.json``. Unused ``# repro: noqa``
+    suppressions surface as warnings.
 ``api``
     The public-API-surface diff of ``tools/check_api.py`` against its
     snapshot ``tools/api_surface.json``.
@@ -40,7 +43,14 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-SOURCE_TREE = REPO_ROOT / "src" / "repro"
+#: Every tree the analyzer gates — sources plus the support trees
+#: (missing ones are skipped so trimmed checkouts still gate).
+ANALYSIS_ROOTS = (
+    REPO_ROOT / "src" / "repro",
+    REPO_ROOT / "tools",
+    REPO_ROOT / "benchmarks",
+    REPO_ROOT / "examples",
+)
 BASELINE = REPO_ROOT / "tools" / "analysis_baseline.json"
 
 SECTIONS = ("analysis", "api", "docs", "bench")
@@ -80,7 +90,8 @@ def run_analysis() -> SectionResult:
 
     result = SectionResult("analysis")
     baseline = BASELINE if BASELINE.is_file() else None
-    report = analyze_paths([SOURCE_TREE], root=REPO_ROOT, baseline=baseline)
+    roots = [path for path in ANALYSIS_ROOTS if path.exists()]
+    report = analyze_paths(roots, root=REPO_ROOT, baseline=baseline)
     for finding in report.findings:
         result.problems.append(finding.render())
     for entry in report.stale_baseline:
@@ -88,6 +99,8 @@ def run_analysis() -> SectionResult:
             f"stale baseline entry {entry.code} for {entry.path!r} "
             f"({entry.snippet!r}) matches nothing — delete it"
         )
+    for unused in report.unused_noqa:
+        result.warnings.append(unused.render().removeprefix("warning: "))
     extras = ""
     if report.baselined:
         extras = f", {len(report.baselined)} baselined"
